@@ -1,0 +1,101 @@
+// Ablation A3 — data compression (Section 6.1.3).
+//
+// CuLDA stores θ's column indices and φ's counters in 16 bits. This bench
+// measures what that buys: off-chip traffic and simulated iteration time
+// with compression on vs off, plus the resident model footprint (which also
+// gates the WS1/WS2 choice — Section 5.1).
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace culda;
+
+namespace {
+
+struct Measurement {
+  double dram_mb = 0;
+  double iter_ms = 0;
+  double model_mb = 0;
+};
+
+Measurement Measure(const corpus::Corpus& corpus, core::CuldaConfig cfg,
+                    bool compress, bool l1, int iters) {
+  cfg.compress_indices = compress;
+  cfg.l1_for_indices = l1;
+  core::TrainerOptions opts;
+  opts.gpus = {gpusim::TitanXpPascal()};
+  core::CuldaTrainer trainer(corpus, cfg, opts);
+  Measurement m;
+  const auto& dev = trainer.group().device(0);
+  const uint64_t bytes_before =
+      dev.profile().count("sampling")
+          ? dev.profile().at("sampling").counters.TotalOffChipBytes()
+          : 0;
+  for (int i = 0; i < iters; ++i) {
+    m.iter_ms += trainer.Step().sim_seconds * 1e3;
+  }
+  m.iter_ms /= iters;
+  const auto& prof = trainer.group().device(0).profile();
+  uint64_t dram = 0;
+  for (const auto& [name, p] : prof) {
+    dram += p.counters.TotalOffChipBytes();
+  }
+  m.dram_mb = static_cast<double>(dram - bytes_before) / iters / 1e6;
+  m.model_mb = static_cast<double>(
+                   static_cast<uint64_t>(cfg.num_topics) *
+                       corpus.vocab_size() * cfg.phi_count_bytes() +
+                   trainer.Gather().theta.nnz() *
+                       (cfg.theta_index_bytes() + 4)) /
+               1e6;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  bench::PrintBanner("Ablation A3 — precision compression (Section 6.1.3)",
+                     "16-bit θ indices & φ counters vs 32-bit, NYTimes "
+                     "profile on Pascal.");
+
+  const auto profile =
+      bench::NyTimesBenchProfile(flags.GetDouble("scale", 0.5));
+  const auto corpus = bench::MakeCorpus(flags, profile, "nytimes");
+  const int iters = static_cast<int>(flags.GetInt("iters", 5));
+  core::CuldaConfig cfg = bench::BenchConfig(flags);
+  bench::RejectUnknownFlags(flags);
+  std::printf("%s | K=%u\n\n", corpus.Summary(profile.name).c_str(),
+              cfg.num_topics);
+
+  // Compression interacts with L1 index routing (Section 6.1.2): once
+  // index loads are served by L1, halving their width buys mostly capacity,
+  // not DRAM time — so the 2×2 grid is what explains the design.
+  struct Case {
+    const char* name;
+    bool compress, l1;
+  };
+  const Case cases[] = {
+      {"16-bit + L1 routing (CuLDA)", true, true},
+      {"32-bit + L1 routing", false, true},
+      {"16-bit, no L1 routing", true, false},
+      {"32-bit, no L1 routing (naive)", false, false},
+  };
+  TextTable t({"config", "DRAM MB/iter", "sim ms/iter", "model MB",
+               "vs CuLDA"});
+  Measurement base{};
+  for (const auto& c : cases) {
+    const Measurement m = Measure(corpus, cfg, c.compress, c.l1, iters);
+    if (c.compress && c.l1) base = m;
+    t.AddRow({c.name, TextTable::Num(m.dram_mb, 4),
+              TextTable::Num(m.iter_ms, 4), TextTable::Num(m.model_mb, 4),
+              TextTable::Num(m.iter_ms / base.iter_ms, 3) + "x"});
+  }
+  t.Print();
+  std::printf(
+      "\nShape checks: the naive corner is the slowest; compression halves\n"
+      "the model footprint (which also gates WS1 vs WS2 — Section 5.1) and\n"
+      "cuts index traffic; with L1 routing on, the residual DRAM win is\n"
+      "small because index loads already avoid DRAM. Functional results\n"
+      "are identical in all four corners.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Extension study — one multi-GPU machine vs a multi-node GPU cluster.
+//
+// The paper's design goal (Section 1): "solve large-scale LDA problems with
+// one single machine and achieve comparable or even better performance than
+// distributed systems." This bench makes that claim quantitative on the
+// simulator: per-iteration time for N nodes × G GPUs, using the measured
+// single-node sampling time and the hierarchical φ synchronization
+// (intra-node PCIe reduce tree + inter-node ring all-reduce over the
+// network). At 10 Gb/s Ethernet, extra nodes mostly buy synchronization
+// time; at 100 Gb/s the crossover moves but the shape persists.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/sync.hpp"
+
+using namespace culda;
+
+namespace {
+
+std::vector<core::PhiReplica> MakeReplicas(size_t g, uint32_t k_topics,
+                                           uint32_t vocab) {
+  std::vector<core::PhiReplica> out;
+  for (size_t i = 0; i < g; ++i) {
+    core::PhiReplica r(k_topics, vocab);
+    r.phi.Fill(1);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Simulated sync time for `nodes` × `gpus` over `network`.
+core::MultiNodeSyncStats SyncCost(int nodes, int gpus,
+                                  const core::CuldaConfig& cfg,
+                                  uint32_t vocab,
+                                  const gpusim::LinkSpec& network) {
+  std::vector<std::unique_ptr<gpusim::DeviceGroup>> groups;
+  std::vector<std::vector<core::PhiReplica>> replicas;
+  for (int n = 0; n < nodes; ++n) {
+    groups.push_back(std::make_unique<gpusim::DeviceGroup>(
+        std::vector<gpusim::DeviceSpec>(gpus, gpusim::TitanXpPascal())));
+    replicas.push_back(MakeReplicas(gpus, cfg.num_topics, vocab));
+  }
+  std::vector<gpusim::DeviceGroup*> group_ptrs;
+  std::vector<std::vector<core::PhiReplica>*> replica_ptrs;
+  for (int n = 0; n < nodes; ++n) {
+    group_ptrs.push_back(groups[n].get());
+    replica_ptrs.push_back(&replicas[n]);
+  }
+  return core::SynchronizePhiAcrossNodes(group_ptrs, cfg, replica_ptrs,
+                                         network);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  bench::PrintBanner(
+      "Extension — single multi-GPU machine vs multi-node cluster",
+      "The Section 1 thesis quantified: per-iteration time as nodes are "
+      "added.");
+
+  // Measure the single-GPU compute time for the workload once.
+  corpus::SyntheticProfile profile =
+      bench::PubMedBenchProfile(flags.GetDouble("scale", 2.0));
+  profile.vocab_size = 6000;
+  core::CuldaConfig cfg = bench::BenchConfig(flags);
+  if (!flags.Has("topics")) cfg.num_topics = 128;
+  const auto corpus = bench::MakeCorpus(flags, profile, "pubmed");
+  const int iters = static_cast<int>(flags.GetInt("iters", 5));
+  bench::RejectUnknownFlags(flags);
+  std::printf("%s | K=%u\n\n", corpus.Summary("PubMed profile").c_str(),
+              cfg.num_topics);
+
+  double one_gpu_s = 0;
+  {
+    core::TrainerOptions opts;
+    opts.gpus = {gpusim::TitanXpPascal()};
+    core::CuldaTrainer trainer(corpus, cfg, opts);
+    for (int i = 0; i < iters; ++i) {
+      const auto st = trainer.Step();
+      one_gpu_s += st.sim_seconds - st.sync_s;
+    }
+    one_gpu_s /= iters;
+  }
+  std::printf("single-GPU compute per iteration: %.3f ms\n\n",
+              one_gpu_s * 1e3);
+
+  for (const auto& net :
+       {gpusim::Ethernet10G(), gpusim::LinkSpec{"100Gb network", 12.5, 20}}) {
+    TextTable t({"nodes x GPUs", "total GPUs", "compute ms", "sync ms",
+                 "iter ms", "speedup vs 1x4"});
+    double base_iter = 0;
+    for (const auto& [nodes, gpus] :
+         std::vector<std::pair<int, int>>{
+             {1, 4}, {2, 4}, {4, 4}, {8, 4}, {2, 2}, {4, 1}}) {
+      const double compute_s = one_gpu_s / (nodes * gpus);
+      const auto sync = SyncCost(nodes, gpus, cfg, corpus.vocab_size(), net);
+      const double iter_s = compute_s + sync.seconds;
+      if (nodes == 1 && gpus == 4) base_iter = iter_s;
+      t.AddRow({std::to_string(nodes) + " x " + std::to_string(gpus),
+                std::to_string(nodes * gpus),
+                TextTable::Num(compute_s * 1e3, 4),
+                TextTable::Num(sync.seconds * 1e3, 4),
+                TextTable::Num(iter_s * 1e3, 4),
+                TextTable::Num(base_iter / iter_s, 3) + "x"});
+    }
+    std::printf("network: %s\n", net.name.c_str());
+    t.Print();
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape checks: at 10 Gb/s Ethernet, adding nodes beyond one buys\n"
+      "little or makes things worse — the inter-node φ exchange swamps the\n"
+      "compute savings, which is exactly why the paper targets a single\n"
+      "multi-GPU machine. A 100 Gb/s fabric moves the crossover outward\n"
+      "but the sync share still grows with node count.\n");
+  return 0;
+}

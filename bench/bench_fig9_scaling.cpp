@@ -1,0 +1,101 @@
+// Figure 9 — Multi-GPU scalability on the Pascal platform, PubMed.
+//
+// Paper: 1.93× on 2 GPUs, 2.99× on 4 GPUs (Figure 9b), with per-iteration
+// throughput curves (Figure 9a). Regenerated here with the simulated Pascal
+// group over PCIe: per-iteration token/s series for 1/2/4 GPUs plus the
+// normalized-speedup table, including where the sync time goes.
+#include <cstdio>
+
+#include "common.hpp"
+
+using namespace culda;
+
+namespace {
+
+struct ScalingRun {
+  std::vector<double> tokens_per_sec;
+  double mean_iter_s = 0;
+  double mean_sync_s = 0;
+};
+
+ScalingRun Run(const corpus::Corpus& corpus, const core::CuldaConfig& cfg,
+               int gpus, int iters) {
+  core::TrainerOptions opts;
+  opts.gpus.assign(gpus, gpusim::TitanXpPascal());
+  core::CuldaTrainer trainer(corpus, cfg, opts);
+  ScalingRun run;
+  for (int i = 0; i < iters; ++i) {
+    const auto st = trainer.Step();
+    run.tokens_per_sec.push_back(st.tokens_per_sec);
+    run.mean_iter_s += st.sim_seconds;
+    run.mean_sync_s += st.sync_s;
+  }
+  run.mean_iter_s /= iters;
+  run.mean_sync_s /= iters;
+  return run;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  bench::PrintBanner(
+      "Figure 9 — multi-GPU scaling (Pascal platform, PubMed profile)",
+      "Per-iteration throughput for 1/2/4 GPUs + normalized speedup; paper: "
+      "1.93x / 2.99x.");
+
+  // Figure 9 needs the corpus-to-model ratio of the real PubMed run
+  // (T/(K·V) ≈ 5 tokens per φ cell): at that ratio the φ sync is a small
+  // fraction of an iteration, which is what makes 4-GPU scaling possible.
+  // Defaults here pick a larger corpus and a proportionally smaller model;
+  // all overridable.
+  const double scale = flags.GetDouble("scale", 2.0);
+  const int iters = static_cast<int>(flags.GetInt("iters", 10));
+  core::CuldaConfig cfg = bench::BenchConfig(flags);
+  if (!flags.Has("topics")) cfg.num_topics = 128;
+  corpus::SyntheticProfile profile = bench::PubMedBenchProfile(scale);
+  if (!flags.Has("uci-pubmed")) {
+    profile.vocab_size = 6000;  // keep K·V at the paper's token ratio
+  }
+  const auto corpus = bench::MakeCorpus(flags, profile, "pubmed");
+  bench::RejectUnknownFlags(flags);
+  std::printf("%s | K=%u | %d iterations\n\n",
+              corpus.Summary("PubMed").c_str(), cfg.num_topics, iters);
+
+  std::vector<int> gpu_counts{1, 2, 4};
+  if (flags.GetBool("with-8", false)) gpu_counts.push_back(8);
+
+  std::vector<ScalingRun> runs;
+  for (const int g : gpu_counts) {
+    runs.push_back(Run(corpus, cfg, g, iters));
+    std::printf("series,GPU*%d", g);
+    for (const double v : runs.back().tokens_per_sec) {
+      std::printf(",%.1f", v / 1e6);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  TextTable table({"GPUs", "ms/iter", "M tokens/s", "speedup", "sync ms",
+                   "paper speedup"});
+  const double base = runs[0].mean_iter_s;
+  for (size_t i = 0; i < gpu_counts.size(); ++i) {
+    const char* paper = gpu_counts[i] == 1   ? "1.00x"
+                        : gpu_counts[i] == 2 ? "1.93x"
+                        : gpu_counts[i] == 4 ? "2.99x"
+                                             : "-";
+    table.AddRow(
+        {std::to_string(gpu_counts[i]),
+         TextTable::Num(runs[i].mean_iter_s * 1e3, 4),
+         TextTable::Num(
+             bench::MeanAfterWarmup(runs[i].tokens_per_sec) / 1e6, 4),
+         TextTable::Num(base / runs[i].mean_iter_s, 3) + "x",
+         TextTable::Num(runs[i].mean_sync_s * 1e3, 3), paper});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check: near-linear to 2 GPUs, sub-linear at 4 (φ sync grows\n"
+      "with log G while per-GPU sampling shrinks) — the paper's 1.93x/2.99x "
+      "pattern.\n");
+  return 0;
+}

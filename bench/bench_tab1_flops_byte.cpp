@@ -1,0 +1,116 @@
+// Table 1 — Flops/Byte of each step of one LDA sampling.
+//
+// The paper's platform-independent roofline analysis: each sampling step
+// performs ~0.19–0.33 floating-point operations per byte of memory traffic,
+// far below every processor's balance point, hence LDA is memory bound.
+//
+// This bench measures the same quantity from the live kernels: the sampler
+// tallies its actual flops and bytes per step (compute S, compute Q, sample
+// from p1, sample from p2). Two configurations are reported:
+//   * "unoptimized"  — no shared-memory reuse (all traffic hits memory),
+//     matching the generic analysis the paper tabulates;
+//   * "CuLDA"        — Section 6's shared p2 tree / p* cache / compression
+//     on, showing how the optimizations shift traffic on-chip.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/kernels.hpp"
+#include "corpus/chunking.hpp"
+#include "corpus/word_first.hpp"
+#include "util/philox.hpp"
+
+using namespace culda;
+
+namespace {
+
+core::SamplingStepCounters MeasureSteps(const corpus::Corpus& corpus,
+                                        core::CuldaConfig cfg) {
+  gpusim::Device device(gpusim::V100Volta(), 0);
+  core::ChunkState chunk;
+  chunk.layout =
+      corpus::BuildWordFirstChunk(corpus, corpus::PartitionByTokens(corpus, 1)[0]);
+  chunk.work = corpus::BuildBlockWorkList(chunk.layout,
+                                          cfg.max_tokens_per_block);
+  chunk.z.resize(chunk.layout.num_tokens());
+  for (uint64_t t = 0; t < chunk.z.size(); ++t) {
+    PhiloxStream rng(cfg.seed, chunk.layout.token_global[t]);
+    chunk.z[t] = static_cast<uint16_t>(rng.NextBelow(cfg.num_topics));
+  }
+  chunk.theta = core::ThetaMatrix(chunk.layout.num_docs(), cfg.num_topics);
+  core::PhiReplica replica(cfg.num_topics, corpus.vocab_size());
+  RunUpdatePhiKernel(device, cfg, chunk, replica);
+  RunUpdateThetaKernel(device, cfg, chunk);
+  RunComputeNkKernel(device, cfg, replica);
+
+  core::SamplingStepCounters steps;
+  RunSamplingKernel(device, cfg, chunk, replica, 1, nullptr, &steps);
+  return steps;
+}
+
+void PrintStepTable(const char* label,
+                    const core::SamplingStepCounters& steps) {
+  std::printf("%s:\n", label);
+  TextTable table({"Step", "Flops", "MemBytes", "Flops/Byte",
+                   "paper (Table 1)"});
+  const struct {
+    const char* name;
+    const gpusim::KernelCounters* c;
+    const char* paper;
+  } rows[] = {
+      {"Compute S", &steps.compute_s, "0.33"},
+      {"Compute Q", &steps.compute_q, "0.25"},
+      {"Sampling from p1(k)", &steps.sample_p1, "0.30"},
+      {"Sampling from p2(k)", &steps.sample_p2, "0.19"},
+  };
+  gpusim::KernelCounters total;
+  for (const auto& row : rows) {
+    table.AddRow({row.name, TextTable::Num(double(row.c->flops), 4),
+                  TextTable::Num(double(row.c->TotalOffChipBytes()), 4),
+                  TextTable::Num(row.c->FlopsPerByte(), 3), row.paper});
+    total += *row.c;
+  }
+  table.AddRow({"TOTAL", TextTable::Num(double(total.flops), 4),
+                TextTable::Num(double(total.TotalOffChipBytes()), 4),
+                TextTable::Num(total.FlopsPerByte(), 3), "0.27 (avg)"});
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  bench::PrintBanner(
+      "Table 1 — Flops/Byte of each step of one LDA sampling",
+      "Measured from live kernel counters; memory-bound iff Flops/Byte is\n"
+      "far below the device balance point (V100: 14 TFLOPS / 900 GB/s = "
+      "15.6).");
+
+  const auto profile =
+      bench::NyTimesBenchProfile(flags.GetDouble("scale", 0.25));
+  const auto corpus = bench::MakeCorpus(flags, profile, "nytimes");
+  core::CuldaConfig cfg = bench::BenchConfig(flags);
+  bench::RejectUnknownFlags(flags);
+  std::printf("%s | K=%u\n\n", corpus.Summary(profile.name).c_str(),
+              cfg.num_topics);
+
+  // The paper's generic analysis assumes every p(k) access hits memory.
+  core::CuldaConfig plain = cfg;
+  plain.share_p2_tree = false;
+  plain.reuse_pstar = false;
+  plain.l1_for_indices = false;
+  plain.use_shared_trees = false;
+  plain.compress_indices = false;  // the paper's analysis uses 32-bit Int
+  PrintStepTable("Unoptimized sampler (the paper's Table 1 setting)",
+                 MeasureSteps(corpus, plain));
+
+  PrintStepTable("CuLDA-optimized sampler (Section 6 on)",
+                 MeasureSteps(corpus, cfg));
+
+  std::printf(
+      "Conclusion: Flops/Byte << balance point on every platform — LDA\n"
+      "sampling is memory-bandwidth bound (Section 3.1). The optimized\n"
+      "variant moves most traffic to shared memory/L1, raising the *useful*\n"
+      "fraction of DRAM bandwidth rather than the arithmetic intensity.\n");
+  return 0;
+}

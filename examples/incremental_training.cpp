@@ -1,0 +1,75 @@
+// Incremental training over a growing corpus (core::OnlineTrainer).
+//
+// Simulates a feed: train on an initial corpus, then documents arrive in
+// batches — each is classified immediately (fold-in, no retraining), and
+// every batch is absorbed with a short refresh. Shows that (a) arrival-time
+// classification is cheap and sensible, (b) absorption preserves model
+// quality while extending coverage to the new documents.
+//
+//   ./incremental_training [--batches=N] [--batch-size=N] [--topics=K]
+#include <cstdio>
+
+#include "core/online.hpp"
+#include "corpus/stats.hpp"
+#include "corpus/synthetic.hpp"
+#include "util/cli.hpp"
+#include "util/philox.hpp"
+
+using namespace culda;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const int batches = static_cast<int>(flags.GetInt("batches", 4));
+  const int batch_size = static_cast<int>(flags.GetInt("batch-size", 40));
+
+  // Initial corpus + model.
+  corpus::SyntheticProfile profile;
+  profile.num_docs = 1500;
+  profile.vocab_size = 1200;
+  profile.avg_doc_length = 60;
+  auto initial = corpus::GenerateCorpus(profile);
+  std::printf("%s\n", initial.Summary("initial corpus").c_str());
+
+  core::CuldaConfig cfg;
+  cfg.num_topics = static_cast<uint32_t>(flags.GetInt("topics", 48));
+  core::TrainerOptions opts;
+  opts.gpus = {gpusim::V100Volta()};
+  core::OnlineTrainer online(std::move(initial), cfg, opts,
+                             /*initial_iterations=*/25);
+  std::printf("initial model: ll/token = %.4f\n\n",
+              online.LogLikelihoodPerToken());
+
+  // The feed: batches of new documents drawn from the same generative
+  // world (same vocabulary), classified on arrival, absorbed per batch.
+  PhiloxStream rng(2024, 0);
+  for (int b = 0; b < batches; ++b) {
+    double top_share = 0;
+    for (int i = 0; i < batch_size; ++i) {
+      std::vector<uint32_t> doc;
+      const uint32_t len = 30 + rng.NextBelow(60);
+      // Zipf-flavoured synthetic arrivals.
+      for (uint32_t t = 0; t < len; ++t) {
+        const uint32_t r = rng.NextBelow(1200);
+        doc.push_back(r * r / 1200);  // quadratic skew toward the head
+      }
+      const auto result = online.AddDocument(doc);
+      if (!result.mixture.empty()) {
+        top_share += result.mixture.front().proportion;
+      }
+    }
+    const double before = online.LogLikelihoodPerToken();
+    online.Absorb(/*refresh_iterations=*/4);
+    std::printf(
+        "batch %d: %d docs classified (avg top-topic share %.2f), absorbed; "
+        "corpus now %zu docs, ll/token %.4f -> %.4f\n",
+        b, batch_size, top_share / batch_size, online.corpus().num_docs(),
+        before, online.LogLikelihoodPerToken());
+  }
+
+  online.Gather().Validate(online.corpus());
+  std::printf("\nfinal corpus statistics:\n%s\n",
+              corpus::FormatStats(corpus::ComputeStats(online.corpus()),
+                                  "online corpus")
+                  .c_str());
+  return 0;
+}

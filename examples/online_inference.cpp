@@ -1,0 +1,152 @@
+// End-to-end "online service" flow — the usage scenario the paper's
+// introduction motivates (Section 1: LDA training cost "may prevent the
+// usage of LDA in many scenarios, e.g., online service").
+//
+//   1. raw text → TextPipeline → corpus + vocabulary
+//   2. CuLDA training (with optional hyper-parameter re-estimation)
+//   3. model saved to disk, reloaded (the serving artifact)
+//   4. unseen documents classified with fold-in inference
+//
+// The tiny embedded corpus has three obvious themes (cooking, astronomy,
+// machine learning), so the inferred mixtures are easy to eyeball.
+#include <cstdio>
+#include <sstream>
+
+#include "core/hyperopt.hpp"
+#include "core/inference.hpp"
+#include "core/model_io.hpp"
+#include "core/topics.hpp"
+#include "core/trainer.hpp"
+#include "corpus/text_pipeline.hpp"
+#include "util/cli.hpp"
+#include "util/philox.hpp"
+
+using namespace culda;
+
+namespace {
+
+// Three themes, several documents each, repeated with variations so the
+// tiny corpus has enough tokens to learn from.
+const char* kThemeDocs[][6] = {
+    {"simmer the onion garlic and tomato sauce until the pasta is tender",
+     "whisk eggs flour butter and sugar then bake the cake in the oven",
+     "roast the chicken with rosemary garlic lemon and olive oil",
+     "knead the dough let it rise then bake crusty bread in a hot oven",
+     "saute mushrooms in butter add cream and pour over the pasta",
+     "season the soup with basil oregano pepper and fresh tomato"},
+    {"the telescope observed a distant galaxy and a bright supernova",
+     "astronomers measured the orbit of the comet around the sun",
+     "the space probe photographed the rings and moons of saturn",
+     "dark matter shapes the rotation of every spiral galaxy",
+     "the eclipse revealed the corona of the sun to observers",
+     "a neutron star collapsed into a black hole emitting gravitational waves"},
+    {"the neural network learned embeddings from labeled training data",
+     "gradient descent minimizes the loss of the deep model",
+     "the classifier overfit so we added dropout and regularization",
+     "transformers use attention to model long sequences of tokens",
+     "we tuned hyperparameters with cross validation on the training set",
+     "the model inference ran on a gpu for low latency predictions"}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const int repeats = static_cast<int>(flags.GetInt("repeats", 30));
+  const int iters = static_cast<int>(flags.GetInt("iters", 60));
+
+  // 1. Text → corpus. Each seed sentence is used as a word pool and many
+  //    varied documents are drawn from it, so the corpus has realistic
+  //    within-theme co-occurrence variation instead of identical repeats.
+  corpus::TextPipelineOptions popts;
+  popts.stopwords = corpus::TextPipelineOptions::DefaultEnglishStopwords();
+  corpus::TextPipeline pipeline(popts);
+  {
+    PhiloxStream rng(2019, 0);
+    for (size_t theme = 0; theme < 3; ++theme) {
+      std::vector<std::string> pool;
+      for (const char* doc : kThemeDocs[theme]) {
+        for (auto& tok : corpus::TextPipeline::Tokenize(doc, popts)) {
+          pool.push_back(std::move(tok));
+        }
+      }
+      for (int r = 0; r < repeats * 6; ++r) {
+        std::string doc;
+        const uint32_t len = 8 + rng.NextBelow(8);
+        for (uint32_t i = 0; i < len; ++i) {
+          doc += pool[rng.NextBelow(static_cast<uint32_t>(pool.size()))];
+          doc += ' ';
+        }
+        pipeline.AddDocument(doc);
+      }
+    }
+  }
+  auto built = pipeline.Build();
+  std::printf("%s (dropped %llu tokens)\n",
+              built.corpus.Summary("text corpus").c_str(),
+              static_cast<unsigned long long>(built.dropped_tokens));
+
+  // 2. Train.
+  core::CuldaConfig cfg;
+  cfg.num_topics = static_cast<uint32_t>(flags.GetInt("topics", 3));
+  cfg.alpha = 0.1;
+  core::TrainerOptions topts;
+  topts.gpus = {gpusim::TitanXMaxwell()};
+  core::CuldaTrainer trainer(built.corpus, cfg, topts);
+  trainer.Train(iters);
+  std::printf("trained %d iterations, ll/token = %.4f\n", iters,
+              trainer.LogLikelihoodPerToken());
+
+  // Optional: re-estimate hyper-parameters from the trained counts.
+  auto model = trainer.Gather();
+  const auto alpha_opt = core::OptimizeAlpha(model, cfg.EffectiveAlpha());
+  const auto beta_opt = core::OptimizeBeta(model, cfg.beta);
+  std::printf("hyperopt: alpha %.3f -> %.3f, beta %.3f -> %.4f\n",
+              cfg.EffectiveAlpha(), alpha_opt.value, cfg.beta,
+              beta_opt.value);
+
+  // 3. Persist and reload — the serving artifact.
+  std::stringstream blob(std::ios::binary | std::ios::in | std::ios::out);
+  core::SaveModel(model, blob);
+  const core::GatheredModel served = core::LoadModel(blob);
+  std::printf("model round-tripped: %zu bytes\n\n",
+              static_cast<size_t>(blob.tellp()));
+
+  // Topics with real words.
+  for (uint32_t k = 0; k < served.num_topics; ++k) {
+    std::printf("topic %u:", k);
+    for (const auto& tw : core::TopWords(served, cfg, k, 6)) {
+      std::printf(" %s", built.vocabulary.WordOf(tw.word).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // 4. Online inference on unseen documents.
+  const core::InferenceEngine engine(served, cfg);
+  const char* queries[] = {
+      "bake the bread with butter and garlic",
+      "the galaxy and the black hole bend light",
+      "training the network with gradient descent on a gpu",
+      "the astronomer baked a cake while the model trained"};
+  std::printf("\nonline inference (topic : proportion):\n");
+  for (const char* q : queries) {
+    std::vector<uint32_t> ids;
+    for (const auto& tok : corpus::TextPipeline::Tokenize(q, popts)) {
+      const uint32_t id = built.vocabulary.Find(tok);
+      if (id != corpus::Vocabulary::kNotFound) ids.push_back(id);
+    }
+    const auto result = engine.InferDocument(ids, 30);
+    std::printf("  \"%s\"\n", q);
+    for (const auto& dt : result.mixture) {
+      if (dt.proportion > 0.15) {
+        std::printf("    -> %.2f topic %u (", dt.proportion, dt.topic);
+        const auto words = core::TopWords(served, cfg, dt.topic, 4);
+        for (size_t i = 0; i < words.size(); ++i) {
+          std::printf("%s%s", i ? " " : "",
+                      built.vocabulary.WordOf(words[i].word).c_str());
+        }
+        std::printf(")\n");
+      }
+    }
+  }
+  return 0;
+}

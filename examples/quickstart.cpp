@@ -1,0 +1,80 @@
+// Quickstart: train an LDA model on a synthetic corpus with CuLDA_CGS and
+// watch it converge.
+//
+//   ./quickstart [--docs=N] [--vocab=V] [--topics=K] [--iters=N]
+//                [--device=titan|pascal|volta] [--uci=path/to/bagofwords]
+//                [--trace=out.json]
+//
+// With --uci, a real UCI bag-of-words file (e.g. the NYTimes or PubMed dump
+// this paper evaluates on) is trained instead of the synthetic corpus. With
+// --trace, the simulated kernel timeline is written as Chrome trace-event
+// JSON (open in chrome://tracing or Perfetto).
+#include <cstdio>
+#include <fstream>
+
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "corpus/synthetic.hpp"
+#include "corpus/uci_reader.hpp"
+#include "gpusim/profiler.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace culda;
+  const CliFlags flags(argc, argv);
+
+  // 1. Get a corpus: a real UCI file, or a synthetic one drawn from the LDA
+  //    generative model.
+  corpus::Corpus corpus = [&] {
+    const std::string uci = flags.GetString("uci", "");
+    if (!uci.empty()) return corpus::ReadUciBagOfWordsFile(uci);
+    corpus::SyntheticProfile profile;
+    profile.num_docs = flags.GetInt("docs", 2000);
+    profile.vocab_size = static_cast<uint32_t>(flags.GetInt("vocab", 3000));
+    profile.avg_doc_length = 120;
+    return corpus::GenerateCorpus(profile);
+  }();
+  std::printf("%s\n", corpus.Summary("corpus").c_str());
+
+  // 2. Configure the trainer. Defaults follow the paper: α = 50/K, β = 0.01,
+  //    32 samplers per block, 32-ary index trees, compressed indices.
+  core::CuldaConfig cfg;
+  cfg.num_topics = static_cast<uint32_t>(flags.GetInt("topics", 128));
+
+  core::TrainerOptions opts;
+  opts.gpus = {gpusim::SpecByName(flags.GetString("device", "volta"))};
+
+  core::CuldaTrainer trainer(corpus, cfg, opts);
+  std::printf("device: %s | chunks/GPU (M) = %u\n",
+              opts.gpus[0].name.c_str(), trainer.chunks_per_gpu());
+
+  const std::string trace_path = flags.GetString("trace", "");
+  if (!trace_path.empty()) {
+    trainer.group().device(0).set_record_trace(true);
+  }
+
+  // 3. Train, reporting throughput (simulated GPU time) and model quality.
+  const int iters = static_cast<int>(flags.GetInt("iters", 20));
+  std::printf("%5s %14s %16s\n", "iter", "Mtokens/s", "loglik/token");
+  for (int i = 0; i < iters; ++i) {
+    const auto stats = trainer.Step();
+    if (i % 5 == 4 || i == 0) {
+      std::printf("%5d %14.1f %16.4f\n", i, stats.tokens_per_sec / 1e6,
+                  trainer.LogLikelihoodPerToken());
+    }
+  }
+
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    gpusim::WriteChromeTrace(trainer.group(), out);
+    std::printf("kernel timeline written to %s\n", trace_path.c_str());
+  }
+
+  // 4. The trained model: θ (document–topic) and φ (topic–word).
+  const core::GatheredModel model = trainer.Gather();
+  model.Validate(corpus);
+  std::printf("trained: theta nnz = %zu, phi = %u x %u, ll/token = %.4f\n",
+              model.theta.nnz(), model.num_topics, model.vocab_size,
+              core::LogLikelihoodPerToken(model, cfg));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Walker alias table: O(n) build, O(1) multinomial draws.
+//
+// Used by the WarpLDA-class MH sampler (word proposals) and the
+// SaberLDA-class GPU baseline (dense-bucket draws). Stale-table sampling
+// with an MH correction — or refresh-per-word without one — are the
+// standard LightLDA/SaberLDA constructions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::baselines {
+
+struct AliasTable {
+  std::vector<float> prob;
+  std::vector<uint16_t> alias;
+  std::vector<float> weight;  ///< the build-time weights (for MH ratios)
+  float total = 0;
+
+  /// Builds the table over `w` (all non-negative, at least one positive).
+  void Build(std::span<const float> w) {
+    const size_t n = w.size();
+    CULDA_CHECK(n >= 1 && n <= 0x10000);
+    prob.assign(n, 0.0f);
+    alias.assign(n, 0);
+    weight.assign(w.begin(), w.end());
+    total = 0;
+    for (const float x : w) total += x;
+    CULDA_CHECK_MSG(total > 0, "alias table over all-zero weights");
+
+    std::vector<uint32_t> small, large;
+    std::vector<float> scaled(n);
+    for (size_t i = 0; i < n; ++i) {
+      scaled[i] = w[i] * static_cast<float>(n) / total;
+      (scaled[i] < 1.0f ? small : large).push_back(
+          static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+      const uint32_t s = small.back();
+      small.pop_back();
+      const uint32_t l = large.back();
+      prob[s] = scaled[s];
+      alias[s] = static_cast<uint16_t>(l);
+      scaled[l] -= 1.0f - scaled[s];
+      if (scaled[l] < 1.0f) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (const uint32_t i : large) prob[i] = 1.0f;
+    for (const uint32_t i : small) prob[i] = 1.0f;  // numerical leftovers
+  }
+
+  /// Draws with a random bucket choice `r1` and coin `r2` ∈ [0, 1).
+  uint16_t Sample(uint64_t r1, float r2) const {
+    const size_t i = r1 % prob.size();
+    return r2 < prob[i] ? static_cast<uint16_t>(i) : alias[i];
+  }
+};
+
+}  // namespace culda::baselines

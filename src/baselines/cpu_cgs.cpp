@@ -1,0 +1,70 @@
+#include "baselines/cpu_cgs.hpp"
+
+#include "util/philox.hpp"
+#include "util/prefix_sum.hpp"
+
+namespace culda::baselines {
+
+CpuCgs::CpuCgs(const corpus::Corpus& corpus, const core::CuldaConfig& cfg)
+    : seed_(cfg.seed) {
+  cfg.Validate();
+  state_.Initialize(corpus, cfg.num_topics, cfg.EffectiveAlpha(), cfg.beta,
+                    cfg.seed);
+  cdf_.resize(cfg.num_topics);
+}
+
+void CpuCgs::Step() {
+  CpuLdaState& s = state_;
+  const corpus::Corpus& c = *s.corpus;
+  const uint32_t k_topics = s.num_topics;
+  const double beta_v = s.beta * c.vocab_size();
+  CpuCostTracker cost;
+  ++iteration_;
+
+  for (size_t d = 0; d < c.num_docs(); ++d) {
+    const auto tokens = c.DocTokens(d);
+    const uint64_t base = c.DocBegin(d);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const uint32_t w = tokens[i];
+      const uint64_t t = base + i;
+      const uint16_t old_k = s.z[t];
+
+      // Collapse out the current token.
+      --s.nd(d, old_k);
+      --s.nw(old_k, w);
+      --s.nk[old_k];
+
+      // Dense conditional over all K topics.
+      double total = 0;
+      for (uint32_t k = 0; k < k_topics; ++k) {
+        const double p = (s.nd(d, k) + s.alpha) * (s.nw(k, w) + s.beta) /
+                         (static_cast<double>(s.nk[k]) + beta_v);
+        total += p;
+        cdf_[k] = total;
+      }
+      // nd row and nk are streamed (doc-major reuse / small hot array); the
+      // nw column is a strided walk — every element is its own cache line.
+      cost.StreamRead(k_topics * 4 * 2);
+      cost.RandomReads(k_topics, 4);
+      cost.Flops(4ull * k_topics);
+
+      PhiloxStream rng(seed_, (static_cast<uint64_t>(iteration_) << 40) ^ t);
+      const double u = rng.NextDouble() * total;
+      const uint16_t new_k = static_cast<uint16_t>(UpperBoundSearch(
+          std::span<const double>(cdf_.data(), k_topics), u));
+      cost.Flops(32);  // binary search + draw
+
+      s.z[t] = new_k;
+      ++s.nd(d, new_k);
+      ++s.nw(new_k, w);
+      ++s.nk[new_k];
+      cost.RandomWrite(4 * 3 + 2);
+    }
+  }
+
+  const double step_s = cost.Seconds();
+  modeled_seconds_ += step_s;
+  last_tokens_per_sec_ = static_cast<double>(c.num_tokens()) / step_s;
+}
+
+}  // namespace culda::baselines

@@ -1,0 +1,38 @@
+// Exact sequential collapsed Gibbs sampling, O(K) per token.
+//
+// The textbook CGS sampler: decrement the token's counts, compute the full
+// K-length conditional p(k) ∝ (n_dk + α)(n_kv + β)/(n_k + βV), draw, and
+// increment. It is the convergence gold standard against which both CuLDA's
+// delayed-update semantics and the MH baseline are checked, and the "naive"
+// point of the Figure 8 comparison.
+#pragma once
+
+#include "baselines/cpu_state.hpp"
+#include "baselines/lda_solver.hpp"
+#include "core/config.hpp"
+
+namespace culda::baselines {
+
+class CpuCgs : public LdaSolver {
+ public:
+  CpuCgs(const corpus::Corpus& corpus, const core::CuldaConfig& cfg);
+
+  std::string name() const override { return "CGS (CPU, exact O(K))"; }
+  void Step() override;
+  double ModeledSeconds() const override { return modeled_seconds_; }
+  double LogLikelihoodPerToken() const override {
+    return state_.LogLikelihoodPerToken();
+  }
+  uint64_t num_tokens() const override { return state_.corpus->num_tokens(); }
+
+  const CpuLdaState& state() const { return state_; }
+
+ private:
+  CpuLdaState state_;
+  uint64_t seed_;
+  uint32_t iteration_ = 0;
+  double modeled_seconds_ = 0;
+  std::vector<double> cdf_;  ///< scratch, length K
+};
+
+}  // namespace culda::baselines

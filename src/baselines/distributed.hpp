@@ -1,0 +1,46 @@
+// Analytic model of a distributed parameter-server LDA (the paper's LDA*
+// comparison, Section 7.2).
+//
+// LDA* (Yu et al., VLDB'17) is closed-source and runs on a 20-node Ethernet
+// cluster; the paper cites its published PubMed curve and attributes the gap
+// to network bandwidth: every iteration the workers must exchange the
+// topic–word model over 10 Gb/s links, which is orders of magnitude slower
+// than PCIe/NVLink. This model reproduces exactly that arithmetic: an
+// iteration is the sampling time (corpus split over N workers, each a
+// WarpLDA-class CPU sampler) plus the parameter-server synchronization time
+// (push + pull of the model delta over the shared network).
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device_spec.hpp"
+#include "util/check.hpp"
+
+namespace culda::baselines {
+
+struct DistributedLdaModel {
+  int num_nodes = 20;  ///< LDA* uses 20 nodes for PubMed
+  /// Per-node sampling throughput (tokens/s); pair with the measured
+  /// throughput of WarpMhSampler for a consistent comparison.
+  double node_tokens_per_sec = 100e6;
+  gpusim::LinkSpec network = gpusim::Ethernet10G();
+  /// Bytes of model exchanged per worker per iteration (push the local
+  /// delta + pull the fresh model ⇒ 2 × model size).
+  uint64_t model_bytes = 0;
+
+  /// Simulated seconds for one iteration over `tokens` tokens.
+  double IterationSeconds(uint64_t tokens) const {
+    CULDA_CHECK(num_nodes >= 1);
+    CULDA_CHECK(node_tokens_per_sec > 0);
+    const double sampling_s =
+        static_cast<double>(tokens) /
+        (node_tokens_per_sec * static_cast<double>(num_nodes));
+    // The parameter server's NIC is the bottleneck link: all workers' push
+    // and pull traffic serializes through it.
+    const double sync_s = network.TransferSeconds(
+        2ull * model_bytes * static_cast<uint64_t>(num_nodes));
+    return sampling_s + sync_s;
+  }
+};
+
+}  // namespace culda::baselines

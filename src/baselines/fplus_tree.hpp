@@ -1,0 +1,81 @@
+// F+ tree: a complete binary tree over K weights supporting O(log K) point
+// updates and O(log K) multinomial draws (find the minimal i whose prefix
+// sum exceeds u).
+//
+// This is the data structure behind F+LDA (Yu et al., WWW'15 — the paper's
+// reference [33]): unlike CuLDA's per-token rebuilt index tree, the F+ tree
+// is maintained *incrementally* as counts change, which is the right
+// trade-off for a sequential exact-CGS sampler where only two topics change
+// per token.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::baselines {
+
+class FPlusTree {
+ public:
+  explicit FPlusTree(uint32_t n) : n_(n) {
+    CULDA_CHECK(n >= 1);
+    size_ = 1;
+    while (size_ < n) size_ *= 2;
+    tree_.assign(2 * size_, 0.0f);
+  }
+
+  uint32_t size() const { return n_; }
+  float Total() const { return tree_[1]; }
+  float Get(uint32_t i) const {
+    CULDA_DCHECK(i < n_);
+    return tree_[size_ + i];
+  }
+
+  /// Bulk build from weights: O(n).
+  void Build(std::span<const float> w) {
+    CULDA_CHECK(w.size() == n_);
+    for (uint32_t i = 0; i < n_; ++i) tree_[size_ + i] = w[i];
+    for (uint32_t i = n_; i < size_; ++i) tree_[size_ + i] = 0.0f;
+    for (uint32_t i = size_ - 1; i >= 1; --i) {
+      tree_[i] = tree_[2 * i] + tree_[2 * i + 1];
+    }
+  }
+
+  /// Point update: O(log n).
+  void Set(uint32_t i, float w) {
+    CULDA_DCHECK(i < n_);
+    uint32_t node = size_ + i;
+    tree_[node] = w;
+    for (node /= 2; node >= 1; node /= 2) {
+      tree_[node] = tree_[2 * node] + tree_[2 * node + 1];
+    }
+  }
+
+  /// Draws the minimal i with prefix(i) > u, for u ∈ [0, Total()); u beyond
+  /// the total clamps to the last non-empty slot. O(log n).
+  uint32_t Sample(float u) const {
+    uint32_t node = 1;
+    while (node < size_) {
+      const float left = tree_[2 * node];
+      if (u < left) {
+        node = 2 * node;
+      } else {
+        u -= left;
+        node = 2 * node + 1;
+      }
+    }
+    uint32_t i = node - size_;
+    // Float round-off can walk past the populated range.
+    if (i >= n_) i = n_ - 1;
+    return i;
+  }
+
+ private:
+  uint32_t n_;
+  uint32_t size_;  ///< leaves (power of two)
+  std::vector<float> tree_;
+};
+
+}  // namespace culda::baselines

@@ -1,0 +1,50 @@
+// Prior-art GPU LDA baseline ("BIDMach/SaberLDA-class" stand-in).
+//
+// The GPU comparison points of Section 7.2 are closed-source (SaberLDA) or
+// architecturally dated (BIDMach); the paper cites their published numbers.
+// This baseline plays their role on the simulator: a straightforward GPU
+// CGS with none of CuLDA's Section 6 machinery —
+//   * dense O(K) conditional per token (no sparsity-aware S/Q split),
+//   * linear CDF scan instead of index trees,
+//   * 32-bit values everywhere (no precision compression),
+//   * no shared-memory reuse of p* or the p2 tree, no L1 routing,
+//   * single GPU only.
+// Same delayed-update semantics and model state as CuLDA, so quality curves
+// are directly comparable; only the per-token cost differs.
+#pragma once
+
+#include <memory>
+
+#include "baselines/lda_solver.hpp"
+#include "core/config.hpp"
+#include "core/model.hpp"
+#include "corpus/corpus.hpp"
+#include "gpusim/device.hpp"
+
+namespace culda::baselines {
+
+class GpuDenseLda : public LdaSolver {
+ public:
+  GpuDenseLda(const corpus::Corpus& corpus, const core::CuldaConfig& cfg,
+              gpusim::DeviceSpec spec, ThreadPool* pool = nullptr);
+
+  std::string name() const override { return "Dense GPU LDA (prior art)"; }
+  void Step() override;
+  double ModeledSeconds() const override { return device_->Now(); }
+  double LogLikelihoodPerToken() const override;
+  uint64_t num_tokens() const override { return corpus_->num_tokens(); }
+
+  gpusim::Device& device() { return *device_; }
+  core::GatheredModel Gather() const;
+
+ private:
+  const corpus::Corpus* corpus_;
+  core::CuldaConfig cfg_;
+  std::unique_ptr<gpusim::Device> device_;
+  core::ChunkState chunk_;        ///< the whole corpus as one chunk
+  core::PhiReplica model_;        ///< read model (iteration t−1)
+  core::PhiReplica accum_;        ///< counts accumulated during iteration t
+  uint32_t iteration_ = 0;
+};
+
+}  // namespace culda::baselines

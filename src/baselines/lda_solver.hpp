@@ -1,0 +1,35 @@
+// Common interface for the comparison LDA solvers (Section 7.2).
+//
+// Every solver — CuLDA itself, the CPU baselines standing in for WarpLDA,
+// and the de-optimized GPU baseline standing in for SaberLDA/BIDMach —
+// exposes one iteration step, a cumulative *modeled* time (all systems are
+// timed by the same roofline cost model, on their respective platform
+// specs), and the Figure 8 quality metric.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace culda::baselines {
+
+class LdaSolver {
+ public:
+  virtual ~LdaSolver() = default;
+
+  virtual std::string name() const = 0;
+  /// Runs one full Gibbs/MH sweep over the corpus.
+  virtual void Step() = 0;
+  /// Cumulative modeled training time, seconds.
+  virtual double ModeledSeconds() const = 0;
+  /// Joint log-likelihood per token of the current state.
+  virtual double LogLikelihoodPerToken() const = 0;
+  virtual uint64_t num_tokens() const = 0;
+
+  /// Modeled throughput of the last Step().
+  double last_tokens_per_sec() const { return last_tokens_per_sec_; }
+
+ protected:
+  double last_tokens_per_sec_ = 0;
+};
+
+}  // namespace culda::baselines

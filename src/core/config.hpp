@@ -1,0 +1,88 @@
+// Trainer configuration (hyper-parameters + the paper's optimization knobs).
+//
+// Every Section 6 optimization is a switch here so the ablation benches
+// (DESIGN A1–A5) can measure what each one buys. Defaults reproduce the
+// paper's configuration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::core {
+
+struct CuldaConfig {
+  // --- Model hyper-parameters (Section 2.1) --------------------------------
+  uint32_t num_topics = 256;  ///< K
+  /// Dirichlet prior on document–topic; < 0 means "use the paper's 50/K".
+  double alpha = -1.0;
+  double beta = 0.01;
+  /// Optional asymmetric document–topic prior (Wallach et al.): when
+  /// non-empty it must have num_topics entries and overrides `alpha`.
+  /// An extension over the paper's symmetric 50/K.
+  std::vector<double> asymmetric_alpha;
+
+  // --- Sampler (Section 6.1) ------------------------------------------------
+  uint32_t samplers_per_block = 32;  ///< warps per thread block (paper: 32,
+                                     ///< the allowed maximum)
+  uint64_t max_tokens_per_block = 4096;  ///< heavy-word split granularity
+  uint32_t tree_fanout = 32;  ///< index-tree arity (warp-wide search)
+
+  // --- Optimization switches (ablations) ------------------------------------
+  bool share_p2_tree = true;   ///< share the p2/p* tree per block (Fig. 6)
+  bool reuse_pstar = true;     ///< cache p*(k) in shared memory (Eq. 8)
+  bool compress_indices = true;  ///< 16-bit θ indices / 16-bit φ counts
+                                 ///< (Section 6.1.3); affects billed traffic
+  bool l1_for_indices = true;  ///< route sparse-index loads through L1
+                               ///< (Section 6.1.2)
+  bool use_shared_trees = true;  ///< keep private p1 index trees in shared
+                                 ///< memory (off = fully unoptimized
+                                 ///< sampler, the Table 1 baseline)
+
+  // --- Reproducibility -------------------------------------------------------
+  uint64_t seed = 1234;
+
+  double EffectiveAlpha() const {
+    return alpha >= 0 ? alpha : 50.0 / num_topics;
+  }
+
+  /// The prior for topic k (asymmetric when configured).
+  double AlphaOf(uint32_t k) const {
+    return asymmetric_alpha.empty() ? EffectiveAlpha()
+                                    : asymmetric_alpha[k];
+  }
+
+  /// Σ_k α_k — the Dirichlet concentration total.
+  double AlphaSum() const {
+    if (asymmetric_alpha.empty()) return EffectiveAlpha() * num_topics;
+    double sum = 0;
+    for (const double a : asymmetric_alpha) sum += a;
+    return sum;
+  }
+
+  void Validate() const {
+    CULDA_CHECK_MSG(num_topics >= 2, "need at least 2 topics");
+    CULDA_CHECK_MSG(num_topics <= (1u << 16),
+                    "K must fit 16-bit topic ids (paper: K < 2^16)");
+    CULDA_CHECK(beta > 0);
+    if (!asymmetric_alpha.empty()) {
+      CULDA_CHECK_MSG(asymmetric_alpha.size() == num_topics,
+                      "asymmetric_alpha must have one entry per topic");
+      for (const double a : asymmetric_alpha) {
+        CULDA_CHECK_MSG(a > 0, "asymmetric_alpha entries must be positive");
+      }
+    }
+    CULDA_CHECK(samplers_per_block >= 1 && samplers_per_block <= 32);
+    CULDA_CHECK(max_tokens_per_block >= 1);
+    CULDA_CHECK(tree_fanout >= 2);
+  }
+
+  /// Bytes billed per θ column index / φ counter under the current
+  /// compression setting (the arrays always hold 16-bit values; billing is
+  /// what the A3 ablation varies).
+  uint32_t theta_index_bytes() const { return compress_indices ? 2 : 4; }
+  uint32_t phi_count_bytes() const { return compress_indices ? 2 : 4; }
+};
+
+}  // namespace culda::core

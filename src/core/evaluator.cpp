@@ -1,0 +1,65 @@
+#include "core/evaluator.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace culda::core {
+
+double LogLikelihoodPerToken(const GatheredModel& model,
+                             const CuldaConfig& cfg) {
+  const double beta = cfg.beta;
+  const uint32_t k_topics = model.num_topics;
+  const uint32_t v_words = model.vocab_size;
+  CULDA_CHECK(k_topics > 0 && v_words > 0);
+  const bool symmetric = cfg.asymmetric_alpha.empty();
+  const double alpha = cfg.EffectiveAlpha();
+  const double alpha_sum = cfg.AlphaSum();
+
+  const double lg_alpha = std::lgamma(alpha);
+  const double lg_beta = std::lgamma(beta);
+  const double lg_alpha_sum = std::lgamma(alpha_sum);
+  const double lg_v_beta = std::lgamma(v_words * beta);
+
+  double ll = 0;
+  uint64_t total_tokens = 0;
+
+  // Document side: Σ_k lΓ(θ_dk + α_k) − Σ_k lΓ(α_k) + lΓ(Σα) − lΓ(len+Σα);
+  // zero entries cancel pairwise, so only the non-zeros contribute deltas.
+  for (size_t d = 0; d < model.theta.rows(); ++d) {
+    const auto idx = model.theta.RowIndices(d);
+    const auto vals = model.theta.RowValues(d);
+    uint64_t len = 0;
+    double row = 0;
+    for (size_t i = 0; i < vals.size(); ++i) {
+      const double a_k = symmetric ? alpha : cfg.asymmetric_alpha[idx[i]];
+      row += std::lgamma(vals[i] + a_k) -
+             (symmetric ? lg_alpha : std::lgamma(a_k));
+      len += static_cast<uint64_t>(vals[i]);
+    }
+    ll += row + lg_alpha_sum -
+          std::lgamma(static_cast<double>(len) + alpha_sum);
+    total_tokens += len;
+  }
+
+  // Topic side.
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    const auto row = model.phi.Row(k);
+    double acc = 0;
+    uint64_t nonzero = 0;
+    for (const uint16_t c : row) {
+      if (c != 0) {
+        acc += std::lgamma(static_cast<double>(c) + beta);
+        ++nonzero;
+      }
+    }
+    acc += static_cast<double>(v_words - nonzero) * lg_beta;
+    ll += acc - v_words * lg_beta + lg_v_beta -
+          std::lgamma(static_cast<double>(model.nk[k]) + v_words * beta);
+  }
+
+  CULDA_CHECK_MSG(total_tokens > 0, "model covers no tokens");
+  return ll / static_cast<double>(total_tokens);
+}
+
+}  // namespace culda::core

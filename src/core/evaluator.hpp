@@ -1,0 +1,24 @@
+// Model quality metric: joint log-likelihood per token (Figure 8's y-axis).
+//
+// For collapsed Gibbs LDA the standard quality trace is
+//
+//   log p(w, z | α, β) =
+//       Σ_d [ Σ_k lΓ(θ_dk + α) − K·lΓ(α) + lΓ(Kα) − lΓ(len_d + Kα) ]
+//     + Σ_k [ Σ_v lΓ(φ_kv + β) − V·lΓ(β) + lΓ(Vβ) − lΓ(n_k + Vβ) ]
+//
+// divided by the token count. It rises (towards 0) as the model fits; all
+// LDA systems compared in the paper report this same quantity.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+
+namespace culda::core {
+
+/// Computes log-likelihood per token of a gathered model. Only the non-zero
+/// entries of θ and φ contribute beyond the closed-form zero terms, so the
+/// cost is O(nnz(θ) + nnz(φ)).
+double LogLikelihoodPerToken(const GatheredModel& model,
+                             const CuldaConfig& cfg);
+
+}  // namespace culda::core

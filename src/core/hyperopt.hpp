@@ -1,0 +1,47 @@
+// Hyper-parameter optimization (Minka's fixed-point updates).
+//
+// The paper fixes α = 50/K and β = 0.01 "same with the previous paper";
+// production LDA systems (MALLET, WarpLDA's tooling) instead re-estimate the
+// symmetric Dirichlet concentrations from the current counts every few
+// iterations, which measurably improves model quality. This implements the
+// standard fixed-point updates
+//
+//   α ← α · Σ_d Σ_k [ψ(θ_dk + α) − ψ(α)] / (K · Σ_d [ψ(len_d + Kα) − ψ(Kα)])
+//   β ← β · Σ_k Σ_v [ψ(φ_kv + β) − ψ(β)] / (V · Σ_k [ψ(n_k + Vβ) − ψ(Vβ)])
+//
+// as an opt-in extension (DESIGN.md lists it under the paper's
+// future/extension features).
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+
+namespace culda::core {
+
+struct HyperOptResult {
+  double value = 0;      ///< the optimized concentration
+  int iterations = 0;    ///< fixed-point steps taken
+  bool converged = false;
+};
+
+/// One or more fixed-point steps for α from the current θ counts.
+HyperOptResult OptimizeAlpha(const GatheredModel& model, double alpha,
+                             int max_iterations = 25, double tolerance = 1e-5);
+
+/// One or more fixed-point steps for β from the current φ counts.
+HyperOptResult OptimizeBeta(const GatheredModel& model, double beta,
+                            int max_iterations = 25, double tolerance = 1e-5);
+
+/// Component-wise fixed point for an asymmetric α (Wallach-style):
+///   α_k ← α_k · Σ_d [ψ(θ_dk + α_k) − ψ(α_k)]
+///              / Σ_d [ψ(len_d + Σα) − ψ(Σα)]
+/// `alpha` holds the starting vector (size K) and receives the result.
+/// Returns the summary of the last sweep.
+HyperOptResult OptimizeAsymmetricAlpha(const GatheredModel& model,
+                                       std::vector<double>& alpha,
+                                       int max_iterations = 25,
+                                       double tolerance = 1e-5);
+
+}  // namespace culda::core

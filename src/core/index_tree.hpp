@@ -1,0 +1,163 @@
+// F-ary index tree for multinomial sampling (Figure 5, Section 6.1.1).
+//
+// Sampling from a discrete distribution p[0..n) is transformed into a search
+// problem: build the inclusive prefix sums of p, then find the minimal k
+// with prefix[k] > u. CuLDA builds a 32-ary tree over the prefix sums — one
+// warp inspects all 32 children of a node in lock-step — and keeps the tree
+// in shared memory, so the two passes over p (mass computation and sampling)
+// touch off-chip memory only once.
+//
+// Layout: the storage holds the leaf prefix array followed by the internal
+// levels bottom-up; level i+1 stores the last prefix value of each group of
+// `fanout` level-i entries. Search walks top-down, scanning at most `fanout`
+// entries per level.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::core {
+
+class IndexTreeView {
+ public:
+  /// Number of float slots needed for a tree over `n` probabilities.
+  static size_t StorageSlots(size_t n, uint32_t fanout) {
+    CULDA_DCHECK(fanout >= 2);
+    size_t slots = n;
+    for (size_t level = n; level > fanout;) {
+      level = (level + fanout - 1) / fanout;
+      slots += level;
+    }
+    return slots;
+  }
+
+  IndexTreeView() = default;
+
+  /// Binds the view to external storage (shared memory in kernels). The
+  /// storage must have at least StorageSlots(n, fanout) floats.
+  IndexTreeView(std::span<float> storage, size_t n, uint32_t fanout)
+      : storage_(storage), n_(n), fanout_(fanout) {
+    CULDA_CHECK(fanout >= 2);
+    CULDA_CHECK_MSG(storage.size() >= StorageSlots(n, fanout),
+                    "index-tree storage too small");
+    size_t offset = 0, level = n;
+    num_levels_ = 0;
+    level_offsets_[num_levels_] = offset;
+    level_sizes_[num_levels_] = level;
+    ++num_levels_;
+    while (level > fanout_) {
+      offset += level;
+      level = (level + fanout_ - 1) / fanout_;
+      CULDA_CHECK_MSG(num_levels_ < kMaxLevels, "distribution too large");
+      level_offsets_[num_levels_] = offset;
+      level_sizes_[num_levels_] = level;
+      ++num_levels_;
+    }
+  }
+
+  size_t size() const { return n_; }
+  size_t levels() const { return num_levels_; }
+
+  /// Builds the tree from probabilities `p` (length n). Returns the total
+  /// mass (the last prefix sum). Costs n adds for the leaves plus ~n/(F-1)
+  /// adds for the internal levels.
+  float Build(std::span<const float> p) {
+    CULDA_CHECK(p.size() == n_);
+    if (n_ == 0) return 0.0f;
+    float acc = 0;
+    std::span<float> leaves = Level(0);
+    for (size_t i = 0; i < n_; ++i) {
+      acc += p[i];
+      leaves[i] = acc;
+    }
+    for (size_t l = 1; l < num_levels_; ++l) {
+      std::span<const float> below = Level(l - 1);
+      std::span<float> cur = Level(l);
+      for (size_t i = 0; i < cur.size(); ++i) {
+        const size_t last = std::min(below.size(), (i + 1) * fanout_) - 1;
+        cur[i] = below[last];
+      }
+    }
+    return acc;
+  }
+
+  float TotalMass() const {
+    if (n_ == 0) return 0.0f;
+    const auto top = Level(levels() - 1);
+    return top[top.size() - 1];
+  }
+
+  /// Finds the minimal k with prefix[k] > u (clamped to n-1 for u at or
+  /// beyond the total mass, absorbing float round-off). `comparisons`, if
+  /// given, receives the number of entries inspected — the cost a warp pays.
+  size_t Search(float u, uint64_t* comparisons = nullptr) const {
+    CULDA_DCHECK(n_ > 0);
+    uint64_t inspected = 0;
+    // Walk top-down. `lo` is the first leaf index of the current subtree.
+    size_t group_begin = 0;  // index of the first entry of the group at the
+                             // current level
+    for (size_t l = levels(); l-- > 0;) {
+      const std::span<const float> level = Level(l);
+      const size_t group_end =
+          std::min(level.size(), group_begin + fanout_);
+      size_t chosen = group_end - 1;  // default to last (round-off guard)
+      for (size_t i = group_begin; i < group_end; ++i) {
+        ++inspected;
+        if (level[i] > u) {
+          chosen = i;
+          break;
+        }
+      }
+      if (l == 0) {
+        if (comparisons != nullptr) *comparisons = inspected;
+        return chosen;
+      }
+      group_begin = chosen * fanout_;
+    }
+    if (comparisons != nullptr) *comparisons = inspected;
+    return n_ - 1;
+  }
+
+  /// Leaf prefix value at k (prefix[k]); used by tests.
+  float PrefixAt(size_t k) const { return Level(0)[k]; }
+
+ private:
+  std::span<float> Level(size_t l) {
+    return storage_.subspan(level_offsets_[l], level_sizes_[l]);
+  }
+  std::span<const float> Level(size_t l) const {
+    return storage_.subspan(level_offsets_[l], level_sizes_[l]);
+  }
+
+  // Level 0 = leaves; the last level has <= fanout entries. 24 levels cover
+  // n up to 2^24 even at fanout = 2 (the A1 ablation's degenerate case).
+  static constexpr size_t kMaxLevels = 24;
+
+  std::span<float> storage_;
+  size_t n_ = 0;
+  uint32_t fanout_ = 32;
+  size_t num_levels_ = 0;
+  size_t level_offsets_[kMaxLevels] = {};
+  size_t level_sizes_[kMaxLevels] = {};
+};
+
+/// An IndexTreeView plus owned storage, for host-side use (tests, CPU
+/// baselines). Kernels bind views over shared memory instead.
+class IndexTree {
+ public:
+  IndexTree(size_t n, uint32_t fanout)
+      : storage_(IndexTreeView::StorageSlots(n, fanout)),
+        view_(storage_, n, fanout) {}
+
+  IndexTreeView& view() { return view_; }
+  const IndexTreeView& view() const { return view_; }
+
+ private:
+  std::vector<float> storage_;
+  IndexTreeView view_;
+};
+
+}  // namespace culda::core

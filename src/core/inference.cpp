@@ -1,0 +1,130 @@
+#include "core/inference.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/philox.hpp"
+
+namespace culda::core {
+
+InferenceEngine::InferenceEngine(const GatheredModel& model, CuldaConfig cfg)
+    : model_(&model), cfg_(std::move(cfg)) {
+  cfg_.Validate();
+  CULDA_CHECK_MSG(model.num_topics == cfg_.num_topics,
+                  "model K (" << model.num_topics
+                              << ") differs from config K ("
+                              << cfg_.num_topics << ")");
+  topic_denom_.resize(model.num_topics);
+  for (uint32_t k = 0; k < model.num_topics; ++k) {
+    topic_denom_[k] = static_cast<double>(model.nk[k]) +
+                      cfg_.beta * model.vocab_size;
+  }
+}
+
+double InferenceEngine::WordGivenTopic(uint32_t word, uint32_t k) const {
+  CULDA_CHECK(word < model_->vocab_size && k < model_->num_topics);
+  return (static_cast<double>(model_->phi(k, word)) + cfg_.beta) /
+         topic_denom_[k];
+}
+
+InferenceResult InferenceEngine::InferDocument(
+    std::span<const uint32_t> words, uint32_t iterations,
+    uint64_t seed) const {
+  const uint32_t k_topics = model_->num_topics;
+  for (const uint32_t w : words) {
+    CULDA_CHECK_MSG(w < model_->vocab_size,
+                    "word id " << w << " not in the trained vocabulary");
+  }
+
+  InferenceResult result;
+  result.topic_counts.assign(k_topics, 0);
+  result.tokens = words.size();
+  if (words.empty()) return result;
+
+  // Random init, then fold-in Gibbs with φ fixed.
+  std::vector<uint16_t> z(words.size());
+  {
+    PhiloxStream rng(seed, 0);
+    for (size_t i = 0; i < words.size(); ++i) {
+      z[i] = static_cast<uint16_t>(rng.NextBelow(k_topics));
+      ++result.topic_counts[z[i]];
+    }
+  }
+  std::vector<double> cdf(k_topics);
+  for (uint32_t it = 1; it <= iterations; ++it) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      const uint32_t w = words[i];
+      --result.topic_counts[z[i]];
+      double total = 0;
+      for (uint32_t k = 0; k < k_topics; ++k) {
+        total += (result.topic_counts[k] + cfg_.AlphaOf(k)) *
+                 WordGivenTopic(w, k);
+        cdf[k] = total;
+      }
+      PhiloxStream rng(seed, (static_cast<uint64_t>(it) << 32) ^ i);
+      const double u = rng.NextDouble() * total;
+      uint16_t k = static_cast<uint16_t>(k_topics - 1);
+      for (uint32_t c = 0; c < k_topics; ++c) {
+        if (cdf[c] > u) {
+          k = static_cast<uint16_t>(c);
+          break;
+        }
+      }
+      z[i] = k;
+      ++result.topic_counts[k];
+    }
+  }
+
+  result.assignments = std::move(z);
+
+  // Smoothed mixture, largest first.
+  const double denom =
+      static_cast<double>(words.size()) + cfg_.AlphaSum();
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    if (result.topic_counts[k] != 0) {
+      result.mixture.push_back(
+          {k, result.topic_counts[k],
+           (result.topic_counts[k] + cfg_.AlphaOf(k)) / denom});
+    }
+  }
+  std::sort(result.mixture.begin(), result.mixture.end(),
+            [](const DocTopic& a, const DocTopic& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.topic < b.topic;
+            });
+  return result;
+}
+
+double InferenceEngine::DocumentCompletionPerplexity(
+    const corpus::Corpus& heldout, uint32_t iterations,
+    uint64_t seed) const {
+  CULDA_CHECK(heldout.vocab_size() <= model_->vocab_size);
+  const uint32_t k_topics = model_->num_topics;
+
+  double log_prob = 0;
+  uint64_t scored = 0;
+  for (size_t d = 0; d < heldout.num_docs(); ++d) {
+    const auto tokens = heldout.DocTokens(d);
+    if (tokens.size() < 2) continue;
+    const size_t half = tokens.size() / 2;
+
+    const InferenceResult fold = InferDocument(
+        tokens.subspan(0, half), iterations, seed + d);
+    const double denom = static_cast<double>(half) + cfg_.AlphaSum();
+
+    for (size_t i = half; i < tokens.size(); ++i) {
+      double p = 0;
+      for (uint32_t k = 0; k < k_topics; ++k) {
+        p += (fold.topic_counts[k] + cfg_.AlphaOf(k)) / denom *
+             WordGivenTopic(tokens[i], k);
+      }
+      log_prob += std::log(p);
+      ++scored;
+    }
+  }
+  CULDA_CHECK_MSG(scored > 0, "held-out corpus has no scorable tokens");
+  return std::exp(-log_prob / static_cast<double>(scored));
+}
+
+}  // namespace culda::core

@@ -1,0 +1,59 @@
+// Held-out inference on a trained model ("fold-in" Gibbs).
+//
+// The paper's motivation includes serving LDA online (Section 1: "may
+// prevent the usage of LDA in many scenarios, e.g., online service"); the
+// serving-side operation is: given a trained φ, infer the topic mixture of
+// an unseen document. This runs collapsed Gibbs over the new document's
+// tokens with φ *fixed* — only the document's own topic counts move — and
+// also provides document-completion perplexity, the standard held-out
+// quality metric.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+#include "core/topics.hpp"
+#include "corpus/corpus.hpp"
+
+namespace culda::core {
+
+struct InferenceResult {
+  std::vector<int32_t> topic_counts;     ///< length K
+  std::vector<DocTopic> mixture;         ///< smoothed, largest first
+  std::vector<uint16_t> assignments;     ///< final topic per input token
+  uint64_t tokens = 0;                   ///< in-vocabulary tokens used
+};
+
+class InferenceEngine {
+ public:
+  /// `model` must outlive the engine. Precomputes φ̂ columns' denominators.
+  InferenceEngine(const GatheredModel& model, CuldaConfig cfg);
+
+  /// Infers the topic mixture of a new document given as word ids
+  /// (out-of-vocabulary ids are rejected). Deterministic in `seed`.
+  InferenceResult InferDocument(std::span<const uint32_t> words,
+                                uint32_t iterations = 20,
+                                uint64_t seed = 7) const;
+
+  /// Document-completion perplexity over `heldout`: the first half of each
+  /// document's tokens estimates θ̂_d by fold-in, the second half is scored:
+  ///   ppl = exp( − Σ log p(w | θ̂_d, φ̂) / N_scored ).
+  /// Lower is better; a well-trained model beats a random φ by a wide
+  /// margin.
+  double DocumentCompletionPerplexity(const corpus::Corpus& heldout,
+                                      uint32_t iterations = 20,
+                                      uint64_t seed = 7) const;
+
+  /// p(w | k) under the smoothed trained model.
+  double WordGivenTopic(uint32_t word, uint32_t k) const;
+
+ private:
+  const GatheredModel* model_;
+  CuldaConfig cfg_;
+  std::vector<double> topic_denom_;  ///< n_k + βV per topic
+};
+
+}  // namespace culda::core

@@ -1,0 +1,444 @@
+#include "core/kernels.hpp"
+
+#include <mutex>
+#include <vector>
+
+#include "core/index_tree.hpp"
+#include "util/philox.hpp"
+
+namespace culda::core {
+
+namespace {
+
+// Per-kernel achievable fractions of streaming DRAM bandwidth (see
+// LaunchConfig::mem_derate). Calibrated once against Table 4's measured
+// throughputs; the cross-platform and cross-algorithm *ratios* do not depend
+// on them.
+constexpr double kSamplingMemDerate = 0.45;  // divergent, dependent loads
+constexpr double kUpdateMemDerate = 0.80;    // scattered atomics, some reuse
+constexpr double kStreamMemDerate = 1.0;     // pure streaming kernels
+
+/// Scratch reused across blocks executed by the same worker thread; avoids
+/// per-block heap churn on the hot path. (With a thread pool each worker has
+/// its own copy, so no synchronization is needed.)
+struct SamplerScratch {
+  std::vector<float> pstar;
+  std::vector<float> p2_tree;
+  std::vector<float> p1_vals;
+  std::vector<float> p1_spill;
+};
+thread_local SamplerScratch tl_scratch;
+
+/// Tree storage bound either to the block's shared arena or, when the arena
+/// is exhausted (large K / long rows), to heap scratch billed as global
+/// traffic — the simulator's equivalent of spilling out of shared memory.
+struct TreePlacement {
+  std::span<float> storage;
+  bool in_shared = false;
+};
+
+TreePlacement PlaceTree(gpusim::BlockContext& ctx, std::vector<float>& spill,
+                        size_t slots, std::span<float> shared_arena) {
+  if (shared_arena.size() >= slots) {
+    return {shared_arena.subspan(0, slots), true};
+  }
+  if (spill.size() < slots) spill.resize(slots);
+  (void)ctx;
+  return {std::span<float>(spill.data(), slots), false};
+}
+
+}  // namespace
+
+gpusim::KernelRecord RunSamplingKernel(gpusim::Device& device,
+                                       const CuldaConfig& cfg,
+                                       ChunkState& chunk,
+                                       const PhiReplica& replica,
+                                       uint32_t iteration,
+                                       gpusim::Stream* stream,
+                                       SamplingStepCounters* steps) {
+  cfg.Validate();
+  const uint32_t K = cfg.num_topics;
+  const uint32_t V = replica.vocab_size;
+  CULDA_CHECK(replica.num_topics == K);
+  CULDA_CHECK(chunk.theta.cols() == K);
+  const float alpha = static_cast<float>(cfg.EffectiveAlpha());
+  const float beta = static_cast<float>(cfg.beta);
+  const float beta_v = beta * static_cast<float>(V);
+  const uint32_t samplers = cfg.samplers_per_block;
+  const uint32_t fanout = cfg.tree_fanout;
+  const uint64_t phi_b = cfg.phi_count_bytes();
+  const uint64_t idx_b = cfg.theta_index_bytes();
+
+  if (chunk.work.empty()) {
+    gpusim::KernelRecord rec;
+    rec.name = "sampling";
+    return rec;
+  }
+
+  std::mutex steps_mutex;
+
+  const gpusim::LaunchConfig lc{static_cast<uint32_t>(chunk.work.size()),
+                                samplers * gpusim::kWarpSize,
+                                kSamplingMemDerate};
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const corpus::BlockWork& bw = chunk.work[ctx.block_id()];
+    const uint32_t w = bw.word;
+    SamplerScratch& scratch = tl_scratch;
+    SamplingStepCounters local;
+
+    // ---- p*(k) = (φ_kv + β) / (n_k + βV): the common sub-expression of
+    // p1 and p2 (Eq. 8), computed once per block and cached in shared memory
+    // when reuse_pstar is on.
+    if (scratch.pstar.size() < K) scratch.pstar.resize(K);
+    std::span<float> pstar(scratch.pstar.data(), K);
+    {
+      for (uint32_t k = 0; k < K; ++k) {
+        pstar[k] = (static_cast<float>(replica.phi(k, w)) + beta) /
+                   (static_cast<float>(replica.nk[k]) + beta_v);
+      }
+      // One φ column + n_k; the column is a strided walk over DRAM, n_k is
+      // small and hot so it hits L1.
+      local.compute_q.global_read_bytes += static_cast<uint64_t>(K) * phi_b;
+      local.compute_q.l1_read_bytes += static_cast<uint64_t>(K) * 4;
+      local.compute_q.flops += 2ull * K;
+      if (cfg.reuse_pstar) {
+        // Cached in shared memory; subsequent uses are shared reads.
+        (void)ctx.shared().Alloc<float>(K);
+        ctx.WriteShared(static_cast<uint64_t>(K) * 4);
+      }
+    }
+
+    // ---- Q and the p2 index tree, shared by all samplers of the block
+    // when share_p2_tree is on; otherwise every token pays the rebuild.
+    const size_t p2_slots = IndexTreeView::StorageSlots(K, fanout);
+    std::span<float> p2_arena;
+    bool p2_in_shared = false;
+    if (cfg.share_p2_tree &&
+        ctx.shared().capacity() - ctx.shared().used() >= p2_slots * 4) {
+      p2_arena = ctx.shared().Alloc<float>(p2_slots);
+      p2_in_shared = true;
+    } else {
+      if (scratch.p2_tree.size() < p2_slots) scratch.p2_tree.resize(p2_slots);
+      p2_arena = std::span<float>(scratch.p2_tree.data(), p2_slots);
+    }
+    IndexTreeView p2_tree(p2_arena, K, fanout);
+    float q_mass = 0;
+    {
+      // p2(k) = α_k · p*(k) (α_k constant under the symmetric default).
+      std::vector<float>& p2_vals = scratch.p1_vals;  // reuse as temp
+      if (p2_vals.size() < K) p2_vals.resize(K);
+      if (cfg.asymmetric_alpha.empty()) {
+        for (uint32_t k = 0; k < K; ++k) p2_vals[k] = alpha * pstar[k];
+      } else {
+        for (uint32_t k = 0; k < K; ++k) {
+          p2_vals[k] =
+              static_cast<float>(cfg.asymmetric_alpha[k]) * pstar[k];
+        }
+      }
+      q_mass = p2_tree.Build(std::span<const float>(p2_vals.data(), K));
+
+      // Scaling by α is part of computing Q; the prefix/tree construction
+      // belongs to the p2 sampling step (the paper's Table 1 attribution).
+      local.compute_q.flops += K;
+      const uint64_t build_flops = 2ull * K;
+      const uint64_t tree_bytes = p2_slots * 4;
+      local.sample_p2.flops += build_flops;
+      if (p2_in_shared) {
+        local.sample_p2.shared_write_bytes += tree_bytes;
+      } else {
+        local.sample_p2.global_write_bytes += tree_bytes;
+      }
+    }
+
+    // ---- Per-warp p1 arenas carved out of the remaining shared memory.
+    const size_t shared_left =
+        (ctx.shared().capacity() - ctx.shared().used()) / 4;
+    const size_t warp_arena_slots = shared_left / samplers;
+    std::span<float> warp_arena_all;
+    if (warp_arena_slots > 0) {
+      warp_arena_all = ctx.shared().Alloc<float>(warp_arena_slots * samplers);
+    }
+
+    // ---- The samplers. One warp = one sampler; tokens are strided across
+    // the block's samplers (Figure 6).
+    for (uint32_t s = 0; s < samplers; ++s) {
+      std::span<float> warp_arena =
+          warp_arena_slots > 0
+              ? warp_arena_all.subspan(s * warp_arena_slots, warp_arena_slots)
+              : std::span<float>{};
+      for (uint64_t t = bw.token_begin + s; t < bw.token_end; t += samplers) {
+        const uint32_t local_doc = chunk.layout.token_doc[t];
+        ctx.ReadGlobal(8);  // token_doc + token_global (RNG key)
+
+        const auto theta_idx = chunk.theta.RowIndices(local_doc);
+        const auto theta_val = chunk.theta.RowValues(local_doc);
+        const uint64_t kd = theta_idx.size();
+        CULDA_DCHECK(kd > 0);
+
+        // θ_d row: indices via L1 (Section 6.1.2), values from DRAM.
+        if (cfg.l1_for_indices) {
+          local.compute_s.l1_read_bytes += kd * idx_b;
+        } else {
+          local.compute_s.global_read_bytes += kd * idx_b;
+        }
+        local.compute_s.global_read_bytes += kd * 4;
+
+        // p1 values and S = Σ p1 (the sparse bucket mass).
+        std::vector<float>& p1_vals = scratch.p1_vals;
+        if (p1_vals.size() < kd) p1_vals.resize(kd);
+        float s_mass = 0;
+        for (uint64_t j = 0; j < kd; ++j) {
+          const float p = static_cast<float>(theta_val[j]) *
+                          pstar[theta_idx[j]];
+          p1_vals[j] = p;
+          s_mass += p;
+        }
+        local.compute_s.flops += 2 * kd;
+        if (cfg.reuse_pstar) {
+          local.compute_s.shared_read_bytes += kd * 4;
+        } else {
+          // p*(k) recomputed from φ/n_k for every non-zero.
+          local.compute_s.global_read_bytes += kd * phi_b;
+          local.compute_s.l1_read_bytes += kd * 4;
+          local.compute_s.flops += 2 * kd;
+        }
+        if (!cfg.share_p2_tree) {
+          // Without block-level sharing each token pays the p2 work.
+          local.compute_q.global_read_bytes += static_cast<uint64_t>(K) *
+                                               phi_b;
+          local.compute_q.global_read_bytes += static_cast<uint64_t>(K) * 4;
+          local.compute_q.flops += 3ull * K;
+          local.sample_p2.flops += 2ull * K;
+          local.sample_p2.global_write_bytes += p2_slots * 4;
+        }
+
+        // Private p1 index tree (Figure 6), spilling past shared capacity.
+        const size_t p1_slots = IndexTreeView::StorageSlots(kd, fanout);
+        const TreePlacement p1_place = PlaceTree(
+            ctx, scratch.p1_spill, p1_slots,
+            cfg.use_shared_trees ? warp_arena : std::span<float>{});
+        IndexTreeView p1_tree(p1_place.storage, kd, fanout);
+        p1_tree.Build(std::span<const float>(p1_vals.data(), kd));
+        local.sample_p1.flops += kd;
+        if (p1_place.in_shared) {
+          local.sample_p1.shared_write_bytes += p1_slots * 4;
+        } else {
+          local.sample_p1.global_write_bytes += p1_slots * 4;
+          ++local.p1_tree_spills;
+        }
+
+        // One uniform draw decides the bucket and is reused inside it
+        // (u | u < S is U(0, S)). The stream is keyed by the corpus-global
+        // token id, so draws are independent of the partition and schedule.
+        const uint64_t global_token = chunk.layout.token_global[t];
+        PhiloxStream rng(cfg.seed,
+                         (static_cast<uint64_t>(iteration) << 40) ^
+                             global_token);
+        const float total = s_mass + q_mass;
+        const float u = rng.NextFloat() * total;
+        local.compute_s.flops += 2;
+
+        uint32_t new_topic;
+        uint64_t inspected = 0;
+        if (u < s_mass) {
+          const size_t j = p1_tree.Search(u, &inspected);
+          new_topic = theta_idx[j];
+          local.sample_p1.flops += inspected;
+          if (p1_place.in_shared) {
+            local.sample_p1.shared_read_bytes += inspected * 4;
+          } else {
+            local.sample_p1.global_read_bytes += inspected * 4;
+          }
+          ++local.p1_branches;
+        } else {
+          const float u2 = std::min(u - s_mass, q_mass);
+          const size_t k = p2_tree.Search(u2, &inspected);
+          new_topic = static_cast<uint32_t>(k);
+          local.sample_p2.flops += inspected;
+          if (p2_in_shared) {
+            local.sample_p2.shared_read_bytes += inspected * 4;
+          } else {
+            local.sample_p2.global_read_bytes += inspected * 4;
+          }
+        }
+
+        chunk.z[t] = static_cast<uint16_t>(new_topic);
+        ctx.WriteGlobal(2);
+        ++local.tokens;
+      }
+    }
+
+    // Merge the per-step tallies into the block's billed counters.
+    for (const gpusim::KernelCounters* c :
+         {&local.compute_s, &local.compute_q, &local.sample_p1,
+          &local.sample_p2}) {
+      ctx.counters().global_read_bytes += c->global_read_bytes;
+      ctx.counters().l1_read_bytes += c->l1_read_bytes;
+      ctx.counters().global_write_bytes += c->global_write_bytes;
+      ctx.counters().shared_read_bytes += c->shared_read_bytes;
+      ctx.counters().shared_write_bytes += c->shared_write_bytes;
+      ctx.counters().flops += c->flops;
+    }
+    if (steps != nullptr) {
+      std::lock_guard<std::mutex> lock(steps_mutex);
+      steps->compute_s += local.compute_s;
+      steps->compute_q += local.compute_q;
+      steps->sample_p1 += local.sample_p1;
+      steps->sample_p2 += local.sample_p2;
+      steps->tokens += local.tokens;
+      steps->p1_branches += local.p1_branches;
+      steps->p1_tree_spills += local.p1_tree_spills;
+    }
+  };
+
+  return device.Launch("sampling", lc, body, stream);
+}
+
+gpusim::KernelRecord RunZeroPhiKernel(gpusim::Device& device,
+                                      const CuldaConfig& cfg,
+                                      PhiReplica& replica,
+                                      gpusim::Stream* stream) {
+  const uint64_t cells =
+      static_cast<uint64_t>(replica.num_topics) * replica.vocab_size;
+  const gpusim::LaunchConfig lc{
+      static_cast<uint32_t>(std::max<uint64_t>(1, cells / (1 << 16))), 1024,
+      kStreamMemDerate};
+  auto body = [&](gpusim::BlockContext& ctx) {
+    if (ctx.block_id() == 0) {
+      replica.phi.Fill(0);
+      std::fill(replica.nk.begin(), replica.nk.end(), 0);
+    }
+    // Billed evenly across blocks.
+    ctx.WriteGlobal(cells * cfg.phi_count_bytes() / ctx.grid_dim());
+  };
+  return device.Launch("zero_phi", lc, body, stream);
+}
+
+gpusim::KernelRecord RunUpdatePhiKernel(gpusim::Device& device,
+                                        const CuldaConfig& cfg,
+                                        const ChunkState& chunk,
+                                        PhiReplica& replica,
+                                        gpusim::Stream* stream) {
+  if (chunk.work.empty()) {
+    gpusim::KernelRecord rec;
+    rec.name = "update_phi";
+    return rec;
+  }
+  const gpusim::LaunchConfig lc{static_cast<uint32_t>(chunk.work.size()),
+                                cfg.samplers_per_block * gpusim::kWarpSize,
+                                kUpdateMemDerate};
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const corpus::BlockWork& bw = chunk.work[ctx.block_id()];
+    const uint32_t w = bw.word;
+    for (uint64_t t = bw.token_begin; t < bw.token_end; ++t) {
+      const uint16_t k = chunk.z[t];
+      ctx.ReadGlobal(2);  // z
+      // Word-first order: all atomics of this block land in column w, which
+      // is the data locality Section 6.2 relies on.
+      const uint16_t prev =
+          ctx.AtomicAdd(replica.phi(k, w), static_cast<uint16_t>(1));
+      // Section 6.1.3's 16-bit counts are a claim, not a law of nature —
+      // detect the corpus that breaks it instead of silently wrapping.
+      CULDA_CHECK_MSG(prev != 0xFFFF,
+                      "phi count overflowed 16 bits (word " << w
+                          << ", topic " << k << ")");
+      ctx.WriteGlobal(cfg.phi_count_bytes());
+    }
+  };
+  return device.Launch("update_phi", lc, body, stream);
+}
+
+gpusim::KernelRecord RunUpdateThetaKernel(gpusim::Device& device,
+                                          const CuldaConfig& cfg,
+                                          ChunkState& chunk,
+                                          gpusim::Stream* stream) {
+  const uint32_t K = cfg.num_topics;
+  const uint64_t num_docs = chunk.num_docs();
+  if (num_docs == 0) {
+    gpusim::KernelRecord rec;
+    rec.name = "update_theta";
+    return rec;
+  }
+
+  // Functional rebuild first (exact, document order — the real kernel's
+  // two-pass count/scan/fill produces exactly this matrix); the launch below
+  // then bills the traffic the dense-scatter + compaction kernel would move,
+  // using the rebuilt matrix's true nnz.
+  {
+    ThetaMatrix fresh(num_docs, K);
+    ThetaMatrix::RowBuilder builder(&fresh);
+    std::vector<int32_t> dense(K, 0);
+    std::vector<uint16_t> idx;
+    std::vector<int32_t> val;
+    for (uint64_t d = 0; d < num_docs; ++d) {
+      idx.clear();
+      val.clear();
+      for (uint64_t i = chunk.layout.doc_map_offsets[d];
+           i < chunk.layout.doc_map_offsets[d + 1]; ++i) {
+        const uint32_t t = chunk.layout.doc_map[i];
+        ++dense[chunk.z[t]];
+      }
+      for (uint32_t k = 0; k < K; ++k) {
+        if (dense[k] != 0) {
+          idx.push_back(static_cast<uint16_t>(k));
+          val.push_back(dense[k]);
+          dense[k] = 0;
+        }
+      }
+      builder.AppendRow(d, idx, val);
+    }
+    builder.Finish();
+    chunk.theta = std::move(fresh);
+  }
+
+  const uint32_t grid =
+      static_cast<uint32_t>(std::min<uint64_t>(num_docs, 4096));
+  const gpusim::LaunchConfig lc{grid, 1024, kUpdateMemDerate};
+  const uint64_t total_tokens = chunk.num_tokens();
+  const uint64_t total_nnz = chunk.theta.nnz();
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    // Billing: every document zeroes a dense K array, scatters its tokens
+    // with atomics, then compacts the non-zeros (prefix sum + gather).
+    // Uniform per-block split; totals are exact at the launch level.
+    const uint64_t docs_here = num_docs / ctx.grid_dim() +
+                               (ctx.block_id() < num_docs % ctx.grid_dim());
+    const uint64_t tokens_here =
+        total_tokens / ctx.grid_dim() +
+        (ctx.block_id() < total_tokens % ctx.grid_dim());
+    const uint64_t nnz_here = total_nnz / ctx.grid_dim() +
+                              (ctx.block_id() < total_nnz % ctx.grid_dim());
+
+    // Dense scatter: zero + atomic increments through the doc map.
+    ctx.WriteGlobal(docs_here * K * 4);              // zero dense rows
+    ctx.ReadGlobal(tokens_here * (4 + 2));           // doc_map + z
+    ctx.counters().atomic_ops += tokens_here;
+    ctx.WriteGlobal(tokens_here * 4);                // atomic result
+    // Compaction: scan the dense rows, write CSR out.
+    ctx.ReadGlobal(docs_here * K * 4);
+    ctx.IntOps(docs_here * K);
+    ctx.WriteGlobal(nnz_here * (cfg.theta_index_bytes() + 4));
+  };
+  return device.Launch("update_theta", lc, body, stream);
+}
+
+gpusim::KernelRecord RunComputeNkKernel(gpusim::Device& device,
+                                        const CuldaConfig& cfg,
+                                        PhiReplica& replica,
+                                        gpusim::Stream* stream) {
+  const uint32_t K = replica.num_topics;
+  const gpusim::LaunchConfig lc{std::max(1u, K / 4), 128,
+                                kStreamMemDerate};
+  auto body = [&](gpusim::BlockContext& ctx) {
+    if (ctx.block_id() == 0) replica.RecomputeTotals();
+    const uint64_t rows_here = K / ctx.grid_dim() +
+                               (ctx.block_id() < K % ctx.grid_dim());
+    ctx.ReadGlobal(rows_here * replica.vocab_size * cfg.phi_count_bytes());
+    ctx.Flops(rows_here * replica.vocab_size);
+    ctx.WriteGlobal(rows_here * 4);
+  };
+  return device.Launch("compute_nk", lc, body, stream);
+}
+
+}  // namespace culda::core

@@ -1,0 +1,75 @@
+// The four GPU kernels of CuLDA_CGS (Section 6).
+//
+//   sampling      — Algorithm 2: sparsity-aware S/Q decomposition + 32-ary
+//                   index-tree sampling, one warp per token, one word per
+//                   thread block, shared p*/p2 tree (Figures 5 & 6).
+//   update_phi    — rebuild the φ replica from the new assignments with
+//                   atomic adds; word-first order gives the atomics locality
+//                   (Section 6.2).
+//   update_theta  — rebuild θ per document: dense scatter through the
+//                   precomputed doc→token map, then prefix-sum compaction
+//                   back to CSR (Section 6.2).
+//   compute_nk    — derive per-topic totals n_k = Σ_v φ_kv after φ sync.
+//
+// All kernels are functional (they really produce the new model state) and
+// bill their true memory traffic through the BlockContext, which is where
+// the simulated times and the Table 1 roofline numbers come from.
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+#include "gpusim/device.hpp"
+
+namespace culda::core {
+
+/// Per-step traffic tallies for the Table 1 reproduction: the four steps of
+/// one sampling (compute S, compute Q, sample from p1, sample from p2).
+struct SamplingStepCounters {
+  gpusim::KernelCounters compute_s;
+  gpusim::KernelCounters compute_q;
+  gpusim::KernelCounters sample_p1;
+  gpusim::KernelCounters sample_p2;
+  uint64_t tokens = 0;
+  uint64_t p1_branches = 0;  ///< tokens resolved from the sparse bucket
+  uint64_t p1_tree_spills = 0;  ///< p1 trees that did not fit shared memory
+};
+
+/// Runs the sampling kernel over one chunk: reads θ/φ/n_k of the previous
+/// iteration, writes a new topic into chunk.z for every token. Deterministic
+/// in (cfg.seed, iteration, global token index).
+gpusim::KernelRecord RunSamplingKernel(gpusim::Device& device,
+                                       const CuldaConfig& cfg,
+                                       ChunkState& chunk,
+                                       const PhiReplica& replica,
+                                       uint32_t iteration,
+                                       gpusim::Stream* stream = nullptr,
+                                       SamplingStepCounters* steps = nullptr);
+
+/// Zeroes the φ replica (counts and totals).
+gpusim::KernelRecord RunZeroPhiKernel(gpusim::Device& device,
+                                      const CuldaConfig& cfg,
+                                      PhiReplica& replica,
+                                      gpusim::Stream* stream = nullptr);
+
+/// Accumulates chunk.z into the φ replica with atomic adds.
+gpusim::KernelRecord RunUpdatePhiKernel(gpusim::Device& device,
+                                        const CuldaConfig& cfg,
+                                        const ChunkState& chunk,
+                                        PhiReplica& replica,
+                                        gpusim::Stream* stream = nullptr);
+
+/// Rebuilds chunk.theta from chunk.z (dense scatter + compaction).
+gpusim::KernelRecord RunUpdateThetaKernel(gpusim::Device& device,
+                                          const CuldaConfig& cfg,
+                                          ChunkState& chunk,
+                                          gpusim::Stream* stream = nullptr);
+
+/// Recomputes replica.nk from replica.phi.
+gpusim::KernelRecord RunComputeNkKernel(gpusim::Device& device,
+                                        const CuldaConfig& cfg,
+                                        PhiReplica& replica,
+                                        gpusim::Stream* stream = nullptr);
+
+}  // namespace culda::core

@@ -1,0 +1,40 @@
+#include "core/model.hpp"
+
+#include "corpus/corpus.hpp"
+
+namespace culda::core {
+
+void GatheredModel::Validate(const corpus::Corpus& corpus) const {
+  CULDA_CHECK(theta.rows() == corpus.num_docs());
+  CULDA_CHECK(vocab_size == corpus.vocab_size());
+  theta.Validate();
+
+  // Σ_k θ_dk = len_d for every document.
+  for (size_t d = 0; d < theta.rows(); ++d) {
+    int64_t sum = 0;
+    for (const int32_t c : theta.RowValues(d)) {
+      CULDA_CHECK_MSG(c > 0, "θ stores a non-positive count");
+      sum += c;
+    }
+    CULDA_CHECK_MSG(sum == static_cast<int64_t>(corpus.DocLength(d)),
+                    "θ row " << d << " sums to " << sum << ", expected "
+                             << corpus.DocLength(d));
+  }
+
+  // Σ_v φ_kv = n_k and ΣΣ φ = total token count.
+  CULDA_CHECK(nk.size() == num_topics);
+  uint64_t grand = 0;
+  for (uint32_t k = 0; k < num_topics; ++k) {
+    uint64_t sum = 0;
+    for (const uint16_t c : phi.Row(k)) sum += c;
+    CULDA_CHECK_MSG(sum == static_cast<uint64_t>(nk[k]),
+                    "n_k[" << k << "] = " << nk[k] << " but φ row sums to "
+                           << sum);
+    grand += sum;
+  }
+  CULDA_CHECK_MSG(grand == corpus.num_tokens(),
+                  "φ counts " << grand << " tokens, corpus has "
+                              << corpus.num_tokens());
+}
+
+}  // namespace culda::core

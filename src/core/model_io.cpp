@@ -1,0 +1,130 @@
+#include "core/model_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'U', 'L', 'D', 'A', 'M', 'D', 'L'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+void WriteSpan(std::ostream& out, std::span<const T> data) {
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(T)));
+}
+
+template <typename T>
+T ReadPod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CULDA_CHECK_MSG(in.good(), "model file truncated");
+  return v;
+}
+
+template <typename T>
+std::vector<T> ReadVector(std::istream& in, size_t count) {
+  std::vector<T> v(count);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  CULDA_CHECK_MSG(in.good(), "model file truncated");
+  return v;
+}
+
+}  // namespace
+
+void SaveModel(const GatheredModel& model, std::ostream& out) {
+  model.theta.Validate();
+  out.write(kMagic, sizeof(kMagic));
+  WritePod(out, kVersion);
+  WritePod(out, model.num_topics);
+  WritePod(out, model.vocab_size);
+  WritePod(out, model.num_docs);
+
+  WritePod(out, static_cast<uint64_t>(model.theta.nnz()));
+  WriteSpan(out, model.theta.row_ptr());
+  WriteSpan(out, model.theta.col_idx());
+  WriteSpan(out, model.theta.values());
+  WriteSpan(out, model.phi.flat());
+  WriteSpan(out, std::span<const int32_t>(model.nk));
+  CULDA_CHECK_MSG(out.good(), "failed writing model");
+}
+
+void SaveModelToFile(const GatheredModel& model, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  CULDA_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  SaveModel(model, out);
+}
+
+GatheredModel LoadModel(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  CULDA_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 8) == 0,
+                  "not a CuLDA model file (bad magic)");
+  const uint32_t version = ReadPod<uint32_t>(in);
+  CULDA_CHECK_MSG(version == kVersion,
+                  "unsupported model version " << version);
+
+  GatheredModel model;
+  model.num_topics = ReadPod<uint32_t>(in);
+  model.vocab_size = ReadPod<uint32_t>(in);
+  model.num_docs = ReadPod<uint64_t>(in);
+  CULDA_CHECK_MSG(model.num_topics >= 1 && model.vocab_size >= 1,
+                  "model header dimensions invalid");
+
+  const uint64_t nnz = ReadPod<uint64_t>(in);
+  auto row_ptr = ReadVector<uint64_t>(in, model.num_docs + 1);
+  auto col = ReadVector<uint16_t>(in, nnz);
+  auto val = ReadVector<int32_t>(in, nnz);
+
+  model.theta = ThetaMatrix(model.num_docs, model.num_topics);
+  ThetaMatrix::RowBuilder builder(&model.theta);
+  for (uint64_t d = 0; d < model.num_docs; ++d) {
+    CULDA_CHECK_MSG(row_ptr[d] <= row_ptr[d + 1] && row_ptr[d + 1] <= nnz,
+                    "corrupt θ row pointers");
+    builder.AppendRow(
+        d,
+        std::span<const uint16_t>(col.data() + row_ptr[d],
+                                  row_ptr[d + 1] - row_ptr[d]),
+        std::span<const int32_t>(val.data() + row_ptr[d],
+                                 row_ptr[d + 1] - row_ptr[d]));
+  }
+  builder.Finish();
+  CULDA_CHECK_MSG(row_ptr.back() == nnz, "corrupt θ row pointers");
+
+  model.phi = PhiMatrix(model.num_topics, model.vocab_size);
+  auto phi = ReadVector<uint16_t>(
+      in, static_cast<size_t>(model.num_topics) * model.vocab_size);
+  std::copy(phi.begin(), phi.end(), model.phi.flat().begin());
+  model.nk = ReadVector<int32_t>(in, model.num_topics);
+
+  model.theta.Validate();
+  // φ / n_k consistency.
+  for (uint32_t k = 0; k < model.num_topics; ++k) {
+    int64_t sum = 0;
+    for (const uint16_t c : model.phi.Row(k)) sum += c;
+    CULDA_CHECK_MSG(sum == model.nk[k],
+                    "corrupt model: n_k[" << k << "] mismatch");
+  }
+  return model;
+}
+
+GatheredModel LoadModelFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CULDA_CHECK_MSG(in.good(), "cannot open model file '" << path << "'");
+  return LoadModel(in);
+}
+
+}  // namespace culda::core

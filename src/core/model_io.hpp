@@ -1,0 +1,29 @@
+// Trained-model serialization.
+//
+// Binary format (little-endian, versioned):
+//   magic "CULDAMDL", u32 version,
+//   u32 K, u32 V, u64 D,
+//   θ as CSR  (u64 nnz, D+1 × u64 row_ptr, nnz × u16 col, nnz × i32 val),
+//   φ dense   (K×V × u16),
+//   n_k       (K × i32).
+// Loads validate structure (and, optionally, against a corpus). This is the
+// "collect the trained model" endpoint of Algorithm 1 made durable — the
+// paper's motivating online services consume exactly this artifact.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace culda::core {
+
+/// Writes `model` to `out`. Throws culda::Error on stream failure.
+void SaveModel(const GatheredModel& model, std::ostream& out);
+void SaveModelToFile(const GatheredModel& model, const std::string& path);
+
+/// Reads a model; throws culda::Error on malformed/corrupt input.
+GatheredModel LoadModel(std::istream& in);
+GatheredModel LoadModelFromFile(const std::string& path);
+
+}  // namespace culda::core

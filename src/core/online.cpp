@@ -1,0 +1,67 @@
+#include "core/online.hpp"
+
+#include "util/check.hpp"
+
+namespace culda::core {
+
+OnlineTrainer::OnlineTrainer(corpus::Corpus initial_corpus, CuldaConfig cfg,
+                             TrainerOptions opts,
+                             uint32_t initial_iterations)
+    : corpus_(std::move(initial_corpus)),
+      cfg_(std::move(cfg)),
+      opts_(std::move(opts)) {
+  cfg_.Validate();
+  trainer_ = std::make_unique<CuldaTrainer>(corpus_, cfg_, opts_);
+  trainer_->Train(initial_iterations);
+}
+
+InferenceResult OnlineTrainer::AddDocument(std::vector<uint32_t> words) {
+  for (const uint32_t w : words) {
+    CULDA_CHECK_MSG(w < corpus_.vocab_size(),
+                    "online documents must use the trained vocabulary");
+  }
+  const InferenceEngine engine(trainer_->Gather(), cfg_);
+  InferenceResult result = engine.InferDocument(
+      words, /*iterations=*/20,
+      /*seed=*/cfg_.seed ^ (pending_docs_.size() + 0x9E3779B9ull));
+  pending_z_.push_back(result.assignments);
+  pending_docs_.push_back(std::move(words));
+  return result;
+}
+
+void OnlineTrainer::Absorb(uint32_t refresh_iterations) {
+  if (pending_docs_.empty()) {
+    trainer_->Train(refresh_iterations);
+    return;
+  }
+
+  // Carry the current assignments, extend corpus and z with the pending
+  // documents (fold-in topics as their starting state).
+  std::vector<uint16_t> z = trainer_->ExportAssignments();
+  std::vector<uint64_t> offsets(corpus_.doc_offsets().begin(),
+                                corpus_.doc_offsets().end());
+  std::vector<uint32_t> words(corpus_.words().begin(),
+                              corpus_.words().end());
+  for (size_t i = 0; i < pending_docs_.size(); ++i) {
+    const auto& doc = pending_docs_[i];
+    const auto& doc_z = pending_z_[i];
+    CULDA_CHECK(doc.size() == doc_z.size());
+    words.insert(words.end(), doc.begin(), doc.end());
+    z.insert(z.end(), doc_z.begin(), doc_z.end());
+    offsets.push_back(words.size());
+  }
+  corpus_ = corpus::Corpus(corpus_.vocab_size(), std::move(offsets),
+                           std::move(words));
+  pending_docs_.clear();
+  pending_z_.clear();
+
+  RebuildTrainer(std::move(z));
+  trainer_->Train(refresh_iterations);
+}
+
+void OnlineTrainer::RebuildTrainer(std::vector<uint16_t> z_doc_major) {
+  trainer_ = std::make_unique<CuldaTrainer>(corpus_, cfg_, opts_);
+  trainer_->ImportAssignments(z_doc_major);
+}
+
+}  // namespace culda::core

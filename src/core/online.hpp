@@ -1,0 +1,63 @@
+// OnlineTrainer — incremental training over a growing corpus.
+//
+// The paper's introduction motivates LDA for online services; this
+// extension supports the serving-side lifecycle:
+//
+//   1. train on the initial corpus;
+//   2. as new documents arrive, fold them in cheaply (Gibbs against the
+//      frozen φ — microseconds per document, no retraining);
+//   3. periodically absorb the accumulated documents into the corpus and
+//      run a few refresh sweeps so φ reflects them too.
+//
+// Absorption preserves existing training state: topic assignments ride
+// along via Export/ImportAssignments (token ids of old documents are
+// stable under append), and new documents start from their folded-in
+// topics rather than random — so a refresh needs only a handful of sweeps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/inference.hpp"
+#include "core/trainer.hpp"
+#include "corpus/corpus.hpp"
+
+namespace culda::core {
+
+class OnlineTrainer {
+ public:
+  /// Takes a copy of the initial corpus (the online corpus grows) and
+  /// trains `initial_iterations` sweeps.
+  OnlineTrainer(corpus::Corpus initial_corpus, CuldaConfig cfg,
+                TrainerOptions opts, uint32_t initial_iterations = 30);
+
+  const corpus::Corpus& corpus() const { return corpus_; }
+  uint64_t pending_documents() const { return pending_docs_.size(); }
+
+  /// Classifies a new document against the current model (fold-in; does not
+  /// change the model) and queues it for the next Absorb().
+  InferenceResult AddDocument(std::vector<uint32_t> words);
+
+  /// Merges all pending documents into the corpus, seeds their topics from
+  /// the fold-in results, and runs `refresh_iterations` sweeps.
+  void Absorb(uint32_t refresh_iterations = 5);
+
+  GatheredModel Gather() const { return trainer_->Gather(); }
+  double LogLikelihoodPerToken() const {
+    return trainer_->LogLikelihoodPerToken();
+  }
+  uint32_t iteration() const { return trainer_->iteration(); }
+
+ private:
+  void RebuildTrainer(std::vector<uint16_t> z_doc_major);
+
+  corpus::Corpus corpus_;
+  CuldaConfig cfg_;
+  TrainerOptions opts_;
+  std::unique_ptr<CuldaTrainer> trainer_;
+  std::vector<std::vector<uint32_t>> pending_docs_;
+  std::vector<std::vector<uint16_t>> pending_z_;
+};
+
+}  // namespace culda::core

@@ -1,0 +1,184 @@
+#include "core/sync.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace culda::core {
+
+namespace {
+
+/// φ += other, element-wise, with overflow detection for the 16-bit counts
+/// (Section 6.1.3 argues 16 bits suffice; the check makes the claim
+/// falsifiable instead of silently wrapping).
+void AddReplica(PhiMatrix& into, const PhiMatrix& from) {
+  auto dst = into.flat();
+  const auto src = from.flat();
+  CULDA_CHECK(dst.size() == src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    const uint32_t sum = static_cast<uint32_t>(dst[i]) + src[i];
+    CULDA_CHECK_MSG(sum <= 0xFFFF,
+                    "phi count overflowed 16 bits during reduce; "
+                    "the corpus is too large for compressed counts");
+    dst[i] = static_cast<uint16_t>(sum);
+  }
+}
+
+/// Bills the element-wise add kernel on `device`.
+void BillAddKernel(gpusim::Device& device, const CuldaConfig& cfg,
+                   uint64_t cells, gpusim::Stream* stream) {
+  const uint64_t b = cfg.phi_count_bytes();
+  device.Launch("phi_reduce_add",
+                {static_cast<uint32_t>(std::max<uint64_t>(1, cells >> 16)),
+                 1024},
+                [&](gpusim::BlockContext& ctx) {
+                  const uint64_t share = cells / ctx.grid_dim();
+                  ctx.ReadGlobal(2 * share * b);
+                  ctx.WriteGlobal(share * b);
+                  ctx.IntOps(share);
+                },
+                stream);
+}
+
+}  // namespace
+
+SyncStats SynchronizePhi(gpusim::DeviceGroup& group, const CuldaConfig& cfg,
+                         std::vector<PhiReplica>& replicas, SyncMode mode) {
+  const size_t g_count = group.size();
+  CULDA_CHECK(replicas.size() == g_count);
+  SyncStats stats;
+  if (g_count == 1) return stats;
+
+  const uint64_t cells = static_cast<uint64_t>(replicas[0].num_topics) *
+                         replicas[0].vocab_size;
+  const uint64_t bytes = cells * cfg.phi_count_bytes();
+  const double start = group.Now();
+
+  if (mode == SyncMode::kGpuTree) {
+    // Pairwise reduce (Figure 4): round r combines replicas at distance
+    // 2^r; disjoint pairs run in parallel (their streams are independent).
+    for (size_t step = 1; step < g_count; step *= 2) {
+      ++stats.reduce_rounds;
+      for (size_t i = 0; i + step < g_count; i += 2 * step) {
+        group.PeerTransfer(i + step, i, bytes);
+        stats.peer_bytes += bytes;
+        AddReplica(replicas[i].phi, replicas[i + step].phi);
+        BillAddKernel(group.device(i), cfg, cells, nullptr);
+      }
+    }
+    // Broadcast φ⁰ back out along the same tree, deepest distance first.
+    size_t top = 1;
+    while (top * 2 < g_count) top *= 2;
+    for (size_t step = top; step >= 1; step /= 2) {
+      for (size_t i = 0; i + step < g_count; i += 2 * step) {
+        group.PeerTransfer(i, i + step, bytes);
+        stats.peer_bytes += bytes;
+        replicas[i + step].phi = replicas[i].phi;
+      }
+      if (step == 1) break;
+    }
+  } else {
+    // CPU-side sum (the rejected alternative, kept for the A5 ablation):
+    // every GPU ships its replica down, the host adds G matrices, the sum is
+    // shipped back up. All DMA streams land in the same host memory
+    // controller, so the G copies serialize there (unlike peer transfers
+    // between disjoint GPU pairs), and the adds run at CPU memory bandwidth
+    // — both effects are why Section 5.2 keeps the reduction on the GPUs.
+    double host_clock = group.Now();
+    for (size_t i = 0; i < g_count; ++i) {
+      gpusim::Device& dev = group.device(i);
+      host_clock = std::max(host_clock, dev.stream(0).ready_time()) +
+                   dev.host_link().TransferSeconds(bytes);
+      dev.stream(0).WaitUntil(host_clock);
+      stats.host_bytes += bytes;
+    }
+    for (size_t i = 1; i < g_count; ++i) {
+      AddReplica(replicas[0].phi, replicas[i].phi);
+    }
+    const gpusim::DeviceSpec cpu = gpusim::XeonCpu();
+    host_clock += static_cast<double>(g_count + 1) * bytes /
+                  cpu.EffectiveBandwidthBps();
+    for (size_t i = 0; i < g_count; ++i) {
+      if (i != 0) replicas[i].phi = replicas[0].phi;
+      gpusim::Device& dev = group.device(i);
+      host_clock += dev.host_link().TransferSeconds(bytes);
+      dev.stream(0).WaitUntil(host_clock);
+      stats.host_bytes += bytes;
+    }
+  }
+
+  stats.seconds = group.Now() - start;
+  return stats;
+}
+
+MultiNodeSyncStats SynchronizePhiAcrossNodes(
+    std::vector<gpusim::DeviceGroup*> node_groups, const CuldaConfig& cfg,
+    std::vector<std::vector<PhiReplica>*> node_replicas,
+    const gpusim::LinkSpec& network) {
+  const size_t nodes = node_groups.size();
+  CULDA_CHECK(nodes >= 1);
+  CULDA_CHECK(node_replicas.size() == nodes);
+
+  MultiNodeSyncStats stats;
+  const uint64_t cells =
+      static_cast<uint64_t>((*node_replicas[0])[0].num_topics) *
+      (*node_replicas[0])[0].vocab_size;
+  const uint64_t bytes = cells * cfg.phi_count_bytes();
+
+  // 1. Intra-node reduce (leaves every local replica holding the node sum;
+  //    only the reduce half matters before the network phase, but reusing
+  //    SynchronizePhi keeps one code path — the extra broadcast is counted
+  //    in phase 3's favour since phase 3 then only re-broadcasts deltas).
+  double intra_start = 0, intra_end = 0;
+  for (size_t n = 0; n < nodes; ++n) {
+    intra_start = std::max(intra_start, node_groups[n]->Now());
+    SynchronizePhi(*node_groups[n], cfg, *node_replicas[n],
+                   SyncMode::kGpuTree);
+    intra_end = std::max(intra_end, node_groups[n]->Now());
+  }
+  stats.intra_node_s = intra_end - intra_start;
+  if (nodes == 1) {
+    stats.seconds = stats.intra_node_s;
+    return stats;
+  }
+
+  // 2. Inter-node ring all-reduce of the node sums: each node sends and
+  //    receives 2·(N−1)/N of the model. Every node's NIC is busy the whole
+  //    time, so the wall cost is that volume over one link.
+  const uint64_t ring_bytes = 2 * bytes * (nodes - 1) / nodes;
+  stats.network_bytes = ring_bytes * nodes;
+  stats.inter_node_s = network.TransferSeconds(ring_bytes);
+
+  // Functional: sum node 0's replica 0 across nodes, then copy everywhere.
+  PhiMatrix& global = (*node_replicas[0])[0].phi;
+  for (size_t n = 1; n < nodes; ++n) {
+    const auto src = (*node_replicas[n])[0].phi.flat();
+    auto dst = global.flat();
+    for (size_t i = 0; i < dst.size(); ++i) {
+      const uint32_t sum = static_cast<uint32_t>(dst[i]) + src[i];
+      CULDA_CHECK_MSG(sum <= 0xFFFF, "phi overflow in multi-node sync");
+      dst[i] = static_cast<uint16_t>(sum);
+    }
+  }
+
+  // 3. Intra-node broadcast of the global model + clock alignment.
+  double end = intra_end + stats.inter_node_s;
+  for (size_t n = 0; n < nodes; ++n) {
+    for (auto& replica : *node_replicas[n]) {
+      if (&replica.phi != &global) replica.phi = global;
+    }
+    for (size_t g = 0; g < node_groups[n]->size(); ++g) {
+      node_groups[n]->device(g).stream(0).WaitUntil(end);
+    }
+    // One intra-node broadcast round over the peer link.
+    if (node_groups[n]->size() > 1) {
+      node_groups[n]->PeerTransfer(0, 1, bytes);
+    }
+    node_groups[n]->Barrier();
+    end = std::max(end, node_groups[n]->Now());
+  }
+  stats.seconds = end - intra_start;
+  return stats;
+}
+
+}  // namespace culda::core

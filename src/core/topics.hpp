@@ -1,0 +1,56 @@
+// Trained-model inspection utilities: top words, topic sizes, document
+// mixtures, and UMass topic coherence.
+//
+// These are the downstream-consumer surface of the library — what a user of
+// the paper's system would call after training to actually *use* the topics
+// (Section 2.1's "infer the topic distribution of each document").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/model.hpp"
+#include "corpus/corpus.hpp"
+
+namespace culda::core {
+
+struct TopicWord {
+  uint32_t word = 0;
+  uint32_t count = 0;
+  double probability = 0;  ///< (φ_kv + β) / (n_k + βV)
+};
+
+/// Top `n` words of topic `k` by count (ties broken by word id).
+std::vector<TopicWord> TopWords(const GatheredModel& model,
+                                const CuldaConfig& cfg, uint32_t k,
+                                size_t n);
+
+/// Topics ordered by token count, descending: (topic, n_k).
+std::vector<std::pair<uint32_t, int64_t>> TopicsBySize(
+    const GatheredModel& model);
+
+struct DocTopic {
+  uint32_t topic = 0;
+  int32_t count = 0;
+  double proportion = 0;  ///< (θ_dk + α) / (len_d + Kα)
+};
+
+/// Document d's smoothed topic mixture, largest first.
+std::vector<DocTopic> DocumentMixture(const GatheredModel& model,
+                                      const CuldaConfig& cfg, size_t d);
+
+/// UMass coherence of topic k over its top_n words:
+///   C(k) = Σ_{i<j} log( (D(w_i, w_j) + 1) / D(w_j) )
+/// where D counts documents (in `reference`) containing the word(s) and the
+/// top words are ordered by frequency (w_j the more frequent of the pair).
+/// Closer to 0 = more coherent; typical values are negative.
+double UMassCoherence(const GatheredModel& model, const CuldaConfig& cfg,
+                      const corpus::Corpus& reference, uint32_t k,
+                      size_t top_n);
+
+/// Mean UMass coherence across all topics with n_k > 0.
+double AverageCoherence(const GatheredModel& model, const CuldaConfig& cfg,
+                        const corpus::Corpus& reference, size_t top_n);
+
+}  // namespace culda::core

@@ -1,0 +1,449 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "core/evaluator.hpp"
+#include "core/hyperopt.hpp"
+#include "corpus/chunking.hpp"
+#include "util/log.hpp"
+#include "util/philox.hpp"
+#include "util/stopwatch.hpp"
+
+namespace culda::core {
+
+namespace {
+
+/// Pre-partition estimate of a chunk's device footprint (Section 5.1's
+/// capacity check runs before any chunk is built).
+uint64_t EstimateChunkBytes(uint64_t tokens, uint64_t docs,
+                            uint64_t vocab_size, const CuldaConfig& cfg) {
+  const uint64_t per_token = 4 /*token_doc*/ + 4 /*token_global*/ +
+                             4 /*doc_map*/ + 2 /*z*/ +
+                             cfg.theta_index_bytes() +
+                             4 /*θ value, worst case nnz = tokens*/;
+  return tokens * per_token + (docs + 1) * 16 /*doc offsets ×2*/ +
+         (vocab_size + 1) * 8 /*word offsets*/;
+}
+
+uint64_t PhiFootprintBytes(const CuldaConfig& cfg, uint64_t vocab_size) {
+  return static_cast<uint64_t>(cfg.num_topics) * vocab_size *
+             cfg.phi_count_bytes() +
+         static_cast<uint64_t>(cfg.num_topics) * 4;
+}
+
+}  // namespace
+
+CuldaTrainer::CuldaTrainer(const corpus::Corpus& corpus, CuldaConfig cfg,
+                           TrainerOptions opts)
+    : corpus_(&corpus),
+      cfg_(cfg),
+      opts_(std::move(opts)),
+      group_(opts_.gpus, opts_.peer_link, opts_.pool) {
+  cfg_.Validate();
+  CULDA_CHECK_MSG(corpus.num_tokens() > 0, "cannot train on an empty corpus");
+
+  ChooseM();
+  BuildChunks();
+  InitializeModel();
+
+  // Iteration timing starts now; setup (preprocessing + initial counts) is
+  // excluded, as in the paper's per-iteration measurements.
+  group_.ResetTime();
+  for (size_t g = 0; g < group_.size(); ++g) {
+    group_.device(g).ResetProfile();
+  }
+  last_transfer_s_.assign(group_.size(), 0.0);
+}
+
+void CuldaTrainer::ChooseM() {
+  const uint32_t g_count = static_cast<uint32_t>(group_.size());
+  const uint64_t phi_bytes =
+      2 * PhiFootprintBytes(cfg_, corpus_->vocab_size());
+  // All devices in a group are identical in the paper's platforms; use the
+  // smallest capacity to be safe with heterogeneous specs.
+  uint64_t capacity = group_.device(0).spec().memory_bytes;
+  for (size_t g = 1; g < group_.size(); ++g) {
+    capacity = std::min(capacity, group_.device(g).spec().memory_bytes);
+  }
+  CULDA_CHECK_MSG(phi_bytes < capacity,
+                  "φ model alone exceeds device memory; reduce K or V");
+
+  if (opts_.chunks_per_gpu > 0) {
+    m_ = opts_.chunks_per_gpu;
+    return;
+  }
+  for (uint32_t m = 1; m <= 4096; ++m) {
+    const uint32_t c = m * g_count;
+    const uint64_t chunk = EstimateChunkBytes(
+        corpus_->num_tokens() / c + 1, corpus_->num_docs() / c + 1,
+        corpus_->vocab_size(), cfg_);
+    // M = 1 keeps one resident chunk; M > 1 needs two (double buffering).
+    const uint64_t resident = (m == 1 ? 1 : 2) * chunk + phi_bytes;
+    if (resident <= capacity) {
+      m_ = m;
+      return;
+    }
+  }
+  CULDA_CHECK_MSG(false, "no chunk size fits device memory");
+}
+
+void CuldaTrainer::BuildChunks() {
+  const uint32_t c_count = m_ * static_cast<uint32_t>(group_.size());
+  const auto specs = corpus::PartitionByTokens(*corpus_, c_count);
+  chunks_.clear();
+  chunks_.reserve(specs.size());
+  for (const auto& spec : specs) {
+    ChunkState chunk;
+    chunk.layout = corpus::BuildWordFirstChunk(*corpus_, spec);
+    chunk.work =
+        corpus::BuildBlockWorkList(chunk.layout, cfg_.max_tokens_per_block);
+    chunk.z.resize(chunk.layout.num_tokens());
+    // Deterministic random topic init keyed by the corpus-global token
+    // index, so the initial state is independent of the partition.
+    for (uint64_t t = 0; t < chunk.z.size(); ++t) {
+      PhiloxStream rng(cfg_.seed, chunk.layout.token_global[t]);
+      chunk.z[t] = static_cast<uint16_t>(rng.NextBelow(cfg_.num_topics));
+    }
+    chunk.theta = ThetaMatrix(chunk.layout.num_docs(), cfg_.num_topics);
+    chunks_.push_back(std::move(chunk));
+  }
+
+  // Charge resident footprints against device capacity. WS1 keeps all of a
+  // GPU's chunks resident; WS2 keeps two chunk slots (double buffer). φ is
+  // double-buffered (read replica + accumulator).
+  replicas_.clear();
+  accum_.clear();
+  footprints_.clear();
+  const uint32_t g_count = static_cast<uint32_t>(group_.size());
+  for (uint32_t g = 0; g < g_count; ++g) {
+    gpusim::Device& dev = group_.device(g);
+    replicas_.emplace_back(cfg_.num_topics, corpus_->vocab_size());
+    accum_.emplace_back(cfg_.num_topics, corpus_->vocab_size());
+    footprints_.push_back(dev.Alloc<std::byte>(
+        2 * PhiFootprintBytes(cfg_, corpus_->vocab_size()), "phi_replica"));
+    if (m_ == 1) {
+      footprints_.push_back(
+          dev.Alloc<std::byte>(chunks_[g].DeviceBytes(cfg_), "chunk"));
+    } else {
+      uint64_t max_chunk = 0;
+      for (uint32_t m = 0; m < m_; ++m) {
+        max_chunk = std::max(max_chunk,
+                             chunks_[m * g_count + g].DeviceBytes(cfg_));
+      }
+      footprints_.push_back(
+          dev.Alloc<std::byte>(2 * max_chunk, "chunk_double_buffer"));
+    }
+  }
+}
+
+void CuldaTrainer::InitializeModel() { RebuildCountsFromZ(); }
+
+void CuldaTrainer::RebuildCountsFromZ() {
+  const uint32_t g_count = static_cast<uint32_t>(group_.size());
+  // Counts from the current assignment: θ per chunk, φ per device.
+  for (uint32_t g = 0; g < g_count; ++g) {
+    gpusim::Device& dev = group_.device(g);
+    RunZeroPhiKernel(dev, cfg_, replicas_[g]);
+    for (uint32_t m = 0; m < m_; ++m) {
+      ChunkState& chunk = chunks_[m * g_count + g];
+      RunUpdatePhiKernel(dev, cfg_, chunk, replicas_[g]);
+      RunUpdateThetaKernel(dev, cfg_, chunk);
+    }
+  }
+  SynchronizePhi(group_, cfg_, replicas_, opts_.sync_mode);
+  for (uint32_t g = 0; g < g_count; ++g) {
+    RunComputeNkKernel(group_.device(g), cfg_, replicas_[g]);
+  }
+  group_.Barrier();
+}
+
+uint64_t CuldaTrainer::ChunkUploadBytes(const ChunkState& chunk) const {
+  return chunk.layout.DeviceBytes() + chunk.z.size() * sizeof(uint16_t) +
+         chunk.theta.nnz() * (cfg_.theta_index_bytes() + 4) +
+         (chunk.num_docs() + 1) * 8;
+}
+
+IterationStats CuldaTrainer::Step() {
+  IterationStats stats;
+  stats.iteration = iteration_;
+  const double t0 = group_.Now();
+  Stopwatch wall;
+
+  if (m_ == 1) {
+    StepWs1(stats);
+  } else {
+    StepWs2(stats);
+  }
+  SyncAndFinishIteration(stats);
+
+  stats.sim_seconds = group_.Now() - t0;
+  stats.wall_seconds = wall.Seconds();
+  for (const auto& chunk : chunks_) stats.theta_nnz += chunk.theta.nnz();
+  stats.tokens_per_sec =
+      static_cast<double>(corpus_->num_tokens()) / stats.sim_seconds;
+  for (size_t g = 0; g < group_.size(); ++g) {
+    const double cur = group_.device(g).transfer_seconds();
+    stats.transfer_s += cur - last_transfer_s_[g];
+    last_transfer_s_[g] = cur;
+  }
+  ++iteration_;
+  if (opts_.hyperopt_interval > 0 &&
+      iteration_ % opts_.hyperopt_interval == 0) {
+    const GatheredModel model = Gather();
+    cfg_.alpha = OptimizeAlpha(model, cfg_.EffectiveAlpha()).value;
+    cfg_.beta = OptimizeBeta(model, cfg_.beta).value;
+  }
+  history_.push_back(stats);
+  return stats;
+}
+
+void CuldaTrainer::StepWs1(IterationStats& stats) {
+  const uint32_t g_count = static_cast<uint32_t>(group_.size());
+  for (uint32_t g = 0; g < g_count; ++g) {
+    gpusim::Device& dev = group_.device(g);
+    ChunkState& chunk = chunks_[g];
+    gpusim::Stream& compute = dev.stream(0);
+
+    const auto sampling = RunSamplingKernel(
+        dev, cfg_, chunk, replicas_[g], iteration_ + 1, &compute,
+        opts_.collect_step_counters ? &steps_ : nullptr);
+    stats.sampling_s += sampling.time.total_s;
+
+    // φ first, so its sync can start while θ updates (Section 6.2). New
+    // counts accumulate into the double buffer; the read replica stays
+    // intact for any chunk still sampling.
+    stats.update_phi_s +=
+        RunZeroPhiKernel(dev, cfg_, accum_[g], &compute).time.total_s;
+    stats.update_phi_s +=
+        RunUpdatePhiKernel(dev, cfg_, chunk, accum_[g], &compute)
+            .time.total_s;
+
+    gpusim::Stream& theta_stream =
+        opts_.overlap_theta_with_sync ? dev.stream(1) : compute;
+    theta_stream.WaitUntil(sampling.end_s);
+    stats.update_theta_s +=
+        RunUpdateThetaKernel(dev, cfg_, chunk, &theta_stream).time.total_s;
+  }
+}
+
+void CuldaTrainer::StepWs2(IterationStats& stats) {
+  const uint32_t g_count = static_cast<uint32_t>(group_.size());
+  for (uint32_t g = 0; g < g_count; ++g) {
+    gpusim::Device& dev = group_.device(g);
+    gpusim::Stream& compute = dev.stream(0);
+    // PCIe has independent DMA engines per direction: uploads ride stream 1,
+    // downloads stream 2, so the θ write-back of chunk m never stalls the
+    // upload of chunk m+1.
+    gpusim::Stream& copy_up =
+        opts_.overlap_transfers ? dev.stream(1) : compute;
+    gpusim::Stream& copy_down =
+        opts_.overlap_transfers ? dev.stream(2) : compute;
+
+    stats.update_phi_s +=
+        RunZeroPhiKernel(dev, cfg_, accum_[g], &compute).time.total_s;
+
+    for (uint32_t m = 0; m < m_; ++m) {
+      ChunkState& chunk = chunks_[m * g_count + g];
+      // Upload chunk m (tokens + z + θ). On the copy stream this overlaps
+      // the previous chunk's compute — the Section 5.1 pipeline.
+      const double up_done =
+          dev.RecordTransfer(ChunkUploadBytes(chunk), "h2d", &copy_up);
+      compute.WaitUntil(up_done);
+
+      const auto sampling = RunSamplingKernel(
+          dev, cfg_, chunk, replicas_[g], iteration_ + 1, &compute,
+          opts_.collect_step_counters ? &steps_ : nullptr);
+      stats.sampling_s += sampling.time.total_s;
+      stats.update_phi_s +=
+          RunUpdatePhiKernel(dev, cfg_, chunk, accum_[g], &compute)
+              .time.total_s;
+      stats.update_theta_s +=
+          RunUpdateThetaKernel(dev, cfg_, chunk, &compute).time.total_s;
+
+      // θ travels back on the download stream once the update finished.
+      copy_down.WaitUntil(compute.ready_time());
+      dev.RecordTransfer(
+          chunk.theta.nnz() * (cfg_.theta_index_bytes() + 4) +
+              (chunk.num_docs() + 1) * 8,
+          "d2h", &copy_down);
+    }
+    compute.WaitUntil(copy_down.ready_time());
+    compute.WaitUntil(copy_up.ready_time());
+  }
+}
+
+void CuldaTrainer::SyncAndFinishIteration(IterationStats& stats) {
+  const auto sync = SynchronizePhi(group_, cfg_, accum_, opts_.sync_mode);
+  stats.sync_s += sync.seconds;
+  // The synchronized accumulators become the next iteration's read model.
+  std::swap(replicas_, accum_);
+  for (size_t g = 0; g < group_.size(); ++g) {
+    stats.update_phi_s +=
+        RunComputeNkKernel(group_.device(g), cfg_, replicas_[g])
+            .time.total_s;
+  }
+  group_.Barrier();
+}
+
+std::vector<IterationStats> CuldaTrainer::Train(uint32_t iterations) {
+  std::vector<IterationStats> out;
+  out.reserve(iterations);
+  for (uint32_t i = 0; i < iterations; ++i) {
+    out.push_back(Step());
+  }
+  return out;
+}
+
+GatheredModel CuldaTrainer::Gather() const {
+  GatheredModel model;
+  model.num_topics = cfg_.num_topics;
+  model.vocab_size = corpus_->vocab_size();
+  model.num_docs = corpus_->num_docs();
+  model.theta = ThetaMatrix(corpus_->num_docs(), cfg_.num_topics);
+  ThetaMatrix::RowBuilder builder(&model.theta);
+
+  // Chunks are contiguous ascending document ranges; walk them in id order.
+  size_t next_doc = 0;
+  for (const auto& chunk : chunks_) {
+    CULDA_CHECK(chunk.layout.spec.doc_begin == next_doc);
+    for (uint64_t d = 0; d < chunk.num_docs(); ++d) {
+      builder.AppendRow(next_doc++, chunk.theta.RowIndices(d),
+                        chunk.theta.RowValues(d));
+    }
+  }
+  builder.Finish();
+
+  model.phi = replicas_[0].phi;
+  model.nk = replicas_[0].nk;
+  return model;
+}
+
+double CuldaTrainer::LogLikelihoodPerToken() const {
+  return core::LogLikelihoodPerToken(Gather(), cfg_);
+}
+
+std::vector<uint16_t> CuldaTrainer::ExportAssignments() const {
+  std::vector<uint16_t> z(corpus_->num_tokens());
+  for (const auto& chunk : chunks_) {
+    for (uint64_t t = 0; t < chunk.z.size(); ++t) {
+      z[chunk.layout.token_global[t]] = chunk.z[t];
+    }
+  }
+  return z;
+}
+
+void CuldaTrainer::ImportAssignments(std::span<const uint16_t> z_doc_major) {
+  CULDA_CHECK_MSG(z_doc_major.size() == corpus_->num_tokens(),
+                  "assignment vector must cover every corpus token");
+  for (const uint16_t z : z_doc_major) {
+    CULDA_CHECK_MSG(z < cfg_.num_topics, "topic id out of range");
+  }
+  for (auto& chunk : chunks_) {
+    for (uint64_t t = 0; t < chunk.z.size(); ++t) {
+      chunk.z[t] = z_doc_major[chunk.layout.token_global[t]];
+    }
+  }
+  RebuildCountsFromZ();
+}
+
+namespace {
+constexpr char kCkptMagic[8] = {'C', 'U', 'L', 'D', 'A', 'C', 'K', 'P'};
+constexpr uint32_t kCkptVersion = 1;
+
+template <typename T>
+void WritePod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+T ReadPod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  CULDA_CHECK_MSG(in.good(), "checkpoint truncated");
+  return v;
+}
+}  // namespace
+
+void CuldaTrainer::SaveCheckpoint(std::ostream& out) const {
+  out.write(kCkptMagic, sizeof(kCkptMagic));
+  WritePod(out, kCkptVersion);
+  WritePod(out, cfg_.num_topics);
+  WritePod(out, cfg_.seed);
+  WritePod(out, corpus_->num_tokens());
+  WritePod(out, static_cast<uint64_t>(corpus_->num_docs()));
+  WritePod(out, corpus_->vocab_size());
+  WritePod(out, iteration_);
+  WritePod(out, static_cast<uint32_t>(chunks_.size()));
+  for (const auto& chunk : chunks_) {
+    WritePod(out, static_cast<uint64_t>(chunk.z.size()));
+    out.write(reinterpret_cast<const char*>(chunk.z.data()),
+              static_cast<std::streamsize>(chunk.z.size() * 2));
+  }
+  CULDA_CHECK_MSG(out.good(), "failed writing checkpoint");
+}
+
+void CuldaTrainer::RestoreCheckpoint(std::istream& in) {
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  CULDA_CHECK_MSG(in.good() && std::memcmp(magic, kCkptMagic, 8) == 0,
+                  "not a CuLDA checkpoint (bad magic)");
+  CULDA_CHECK_MSG(ReadPod<uint32_t>(in) == kCkptVersion,
+                  "unsupported checkpoint version");
+  CULDA_CHECK_MSG(ReadPod<uint32_t>(in) == cfg_.num_topics,
+                  "checkpoint K differs from trainer config");
+  CULDA_CHECK_MSG(ReadPod<uint64_t>(in) == cfg_.seed,
+                  "checkpoint seed differs from trainer config");
+  CULDA_CHECK_MSG(ReadPod<uint64_t>(in) == corpus_->num_tokens(),
+                  "checkpoint was taken on a different corpus (tokens)");
+  CULDA_CHECK_MSG(ReadPod<uint64_t>(in) == corpus_->num_docs(),
+                  "checkpoint was taken on a different corpus (docs)");
+  CULDA_CHECK_MSG(ReadPod<uint32_t>(in) == corpus_->vocab_size(),
+                  "checkpoint was taken on a different corpus (vocab)");
+  const uint32_t iteration = ReadPod<uint32_t>(in);
+  const uint32_t num_chunks = ReadPod<uint32_t>(in);
+
+  // The checkpoint's chunking may differ (different G or M): read all z in
+  // checkpoint-chunk order into a corpus-global array keyed by token id,
+  // then scatter into this trainer's chunks. Chunk specs are contiguous in
+  // document (hence token) order in both layouts, but the *word-first*
+  // permutation inside differs, so routing via token_global is required.
+  std::vector<uint16_t> z_global(corpus_->num_tokens());
+  {
+    // SaveCheckpoint stores z in the word-first order of *its* chunking;
+    // chunking is a pure function of (corpus, num_chunks), so re-deriving
+    // the writer's layouts recovers the token_global routing even when this
+    // trainer uses a different G or M.
+    const auto specs = corpus::PartitionByTokens(*corpus_, num_chunks);
+    uint64_t covered = 0;
+    std::vector<uint16_t> buf;
+    for (uint32_t c = 0; c < num_chunks; ++c) {
+      const uint64_t n = ReadPod<uint64_t>(in);
+      buf.resize(n);
+      in.read(reinterpret_cast<char*>(buf.data()),
+              static_cast<std::streamsize>(n * 2));
+      CULDA_CHECK_MSG(in.good(), "checkpoint truncated");
+      const auto layout = corpus::BuildWordFirstChunk(*corpus_, specs[c]);
+      CULDA_CHECK_MSG(layout.num_tokens() == n,
+                      "checkpoint chunking mismatch");
+      for (uint64_t t = 0; t < n; ++t) {
+        CULDA_CHECK(buf[t] < cfg_.num_topics);
+        z_global[layout.token_global[t]] = buf[t];
+      }
+      covered += n;
+    }
+    CULDA_CHECK_MSG(covered == corpus_->num_tokens(),
+                    "checkpoint does not cover the corpus");
+  }
+
+  for (auto& chunk : chunks_) {
+    for (uint64_t t = 0; t < chunk.z.size(); ++t) {
+      chunk.z[t] = z_global[chunk.layout.token_global[t]];
+    }
+  }
+  iteration_ = iteration;
+  RebuildCountsFromZ();
+}
+
+}  // namespace culda::core

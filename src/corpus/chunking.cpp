@@ -1,0 +1,60 @@
+#include "corpus/chunking.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace culda::corpus {
+
+std::vector<ChunkSpec> PartitionByTokens(const Corpus& corpus,
+                                         uint32_t num_chunks) {
+  CULDA_CHECK(num_chunks >= 1);
+  const uint64_t total = corpus.num_tokens();
+  const uint64_t num_docs = corpus.num_docs();
+  const auto offsets = corpus.doc_offsets();
+
+  std::vector<ChunkSpec> chunks(num_chunks);
+  uint64_t doc = 0;
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    ChunkSpec& chunk = chunks[c];
+    chunk.id = c;
+    chunk.doc_begin = doc;
+    chunk.token_begin = offsets[doc];
+
+    if (c + 1 == num_chunks) {
+      doc = num_docs;  // last chunk takes the remainder
+    } else {
+      // Ideal boundary for the end of chunk c, as a global token position
+      // (using the global prefix keeps rounding from accumulating).
+      const uint64_t target = total * (c + 1) / num_chunks;
+      while (doc < num_docs && offsets[doc + 1] <= target) ++doc;
+      if (doc < num_docs) {
+        // The next document straddles the boundary; include it when that
+        // lands closer to the ideal split, and always when the chunk would
+        // otherwise be empty (a single document longer than a whole share).
+        const bool empty = doc == chunk.doc_begin;
+        const bool closer =
+            target - offsets[doc] > offsets[doc + 1] - target;
+        if (empty || closer) ++doc;
+      }
+    }
+    chunk.doc_end = doc;
+    chunk.token_end = offsets[doc];
+  }
+  CULDA_CHECK_MSG(doc == num_docs, "partition did not cover all documents");
+  return chunks;
+}
+
+double LoadImbalance(const std::vector<ChunkSpec>& chunks) {
+  CULDA_CHECK(!chunks.empty());
+  uint64_t total = 0, max_tokens = 0;
+  for (const auto& c : chunks) {
+    total += c.num_tokens();
+    max_tokens = std::max(max_tokens, c.num_tokens());
+  }
+  if (total == 0) return 0.0;
+  const double ideal = static_cast<double>(total) / chunks.size();
+  return static_cast<double>(max_tokens) / ideal - 1.0;
+}
+
+}  // namespace culda::corpus

@@ -1,0 +1,40 @@
+// Corpus partitioning for multi-GPU training.
+//
+// Section 4/5.1: the corpus is split partition-by-document into C = M × G
+// chunks, balanced **by token count, not document count** (documents have
+// wildly different lengths), and chunk i is scheduled to GPU i % G in
+// round-robin, lower ids first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace culda::corpus {
+
+/// A contiguous document range [doc_begin, doc_end) of the corpus, together
+/// with its token range in the document-major token array.
+struct ChunkSpec {
+  uint32_t id = 0;
+  uint64_t doc_begin = 0;
+  uint64_t doc_end = 0;
+  uint64_t token_begin = 0;
+  uint64_t token_end = 0;
+
+  uint64_t num_docs() const { return doc_end - doc_begin; }
+  uint64_t num_tokens() const { return token_end - token_begin; }
+};
+
+/// Splits `corpus` into `num_chunks` contiguous document ranges whose token
+/// counts are as even as the document granularity allows (each boundary is
+/// placed at the document whose cumulative token count first reaches the
+/// ideal split point). Empty chunks only occur when num_chunks > num_docs.
+std::vector<ChunkSpec> PartitionByTokens(const Corpus& corpus,
+                                         uint32_t num_chunks);
+
+/// Maximum relative load imbalance of a partition:
+/// max_chunk_tokens / ideal − 1. Diagnostic used by tests and DESIGN A4.
+double LoadImbalance(const std::vector<ChunkSpec>& chunks);
+
+}  // namespace culda::corpus

@@ -1,0 +1,48 @@
+#include "corpus/corpus.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace culda::corpus {
+
+Corpus::Corpus(uint32_t vocab_size, std::vector<uint64_t> doc_offsets,
+               std::vector<uint32_t> words)
+    : vocab_size_(vocab_size),
+      doc_offsets_(std::move(doc_offsets)),
+      words_(std::move(words)) {
+  Validate();
+}
+
+uint64_t Corpus::MaxDocLength() const {
+  uint64_t m = 0;
+  for (size_t d = 0; d < num_docs(); ++d) m = std::max(m, DocLength(d));
+  return m;
+}
+
+std::vector<uint64_t> Corpus::WordFrequencies() const {
+  std::vector<uint64_t> freq(vocab_size_, 0);
+  for (const uint32_t w : words_) ++freq[w];
+  return freq;
+}
+
+void Corpus::Validate() const {
+  CULDA_CHECK_MSG(!doc_offsets_.empty(), "doc_offsets must have D+1 entries");
+  CULDA_CHECK(doc_offsets_.front() == 0);
+  CULDA_CHECK(doc_offsets_.back() == words_.size());
+  for (size_t d = 0; d + 1 < doc_offsets_.size(); ++d) {
+    CULDA_CHECK(doc_offsets_[d] <= doc_offsets_[d + 1]);
+  }
+  for (const uint32_t w : words_) {
+    CULDA_CHECK_MSG(w < vocab_size_, "word id " << w << " out of range");
+  }
+}
+
+std::string Corpus::Summary(const std::string& name) const {
+  std::ostringstream os;
+  os << name << ": #Tokens=" << num_tokens() << " #Documents=" << num_docs()
+     << " #Words=" << vocab_size()
+     << " avg_doc_len=" << static_cast<uint64_t>(AvgDocLength() + 0.5);
+  return os.str();
+}
+
+}  // namespace culda::corpus

@@ -1,0 +1,66 @@
+// Token-level corpus storage.
+//
+// A corpus is D documents over a V-word vocabulary, stored document-major:
+// `words[t]` is the word id of token t, and `doc_offsets[d]..doc_offsets[d+1]`
+// delimits document d's tokens. This is the host-side representation the CPU
+// preprocesses (Section 4); per-chunk word-first views for the GPU kernels
+// are built by word_first.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::corpus {
+
+class Corpus {
+ public:
+  Corpus() = default;
+
+  /// Takes ownership of token storage. `doc_offsets` has D+1 entries with
+  /// doc_offsets[0] == 0 and doc_offsets[D] == words.size(); every word id
+  /// must be < vocab_size.
+  Corpus(uint32_t vocab_size, std::vector<uint64_t> doc_offsets,
+         std::vector<uint32_t> words);
+
+  uint32_t vocab_size() const { return vocab_size_; }
+  size_t num_docs() const { return doc_offsets_.size() - 1; }
+  uint64_t num_tokens() const { return words_.size(); }
+
+  std::span<const uint64_t> doc_offsets() const { return doc_offsets_; }
+  std::span<const uint32_t> words() const { return words_; }
+
+  uint64_t DocBegin(size_t d) const { return doc_offsets_[d]; }
+  uint64_t DocLength(size_t d) const {
+    return doc_offsets_[d + 1] - doc_offsets_[d];
+  }
+  std::span<const uint32_t> DocTokens(size_t d) const {
+    return {words_.data() + doc_offsets_[d], DocLength(d)};
+  }
+
+  double AvgDocLength() const {
+    return num_docs() == 0
+               ? 0.0
+               : static_cast<double>(num_tokens()) / num_docs();
+  }
+  uint64_t MaxDocLength() const;
+
+  /// Number of occurrences of each word across the corpus (length V).
+  std::vector<uint64_t> WordFrequencies() const;
+
+  /// Structural validation; throws culda::Error on inconsistency.
+  void Validate() const;
+
+  /// One-line summary for logs and bench headers (Table 3-style).
+  std::string Summary(const std::string& name) const;
+
+ private:
+  uint32_t vocab_size_ = 0;
+  std::vector<uint64_t> doc_offsets_{0};
+  std::vector<uint32_t> words_;
+};
+
+}  // namespace culda::corpus

@@ -1,0 +1,60 @@
+#include "corpus/split.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/philox.hpp"
+
+namespace culda::corpus {
+
+CorpusSplit SplitByDocuments(const Corpus& corpus, double heldout_fraction,
+                             uint64_t seed) {
+  CULDA_CHECK_MSG(heldout_fraction > 0 && heldout_fraction < 1,
+                  "heldout_fraction must be in (0, 1)");
+  CULDA_CHECK_MSG(corpus.num_docs() >= 2,
+                  "need at least 2 documents to split");
+
+  std::vector<bool> heldout_mask(corpus.num_docs());
+  size_t heldout_count = 0;
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    PhiloxStream rng(seed, d);
+    heldout_mask[d] = rng.NextDouble() < heldout_fraction;
+    heldout_count += heldout_mask[d];
+  }
+  // Guarantee both sides are non-empty.
+  if (heldout_count == 0) {
+    heldout_mask[corpus.num_docs() - 1] = true;
+    heldout_count = 1;
+  } else if (heldout_count == corpus.num_docs()) {
+    heldout_mask[0] = false;
+    --heldout_count;
+  }
+
+  auto build = [&](bool side) {
+    std::vector<uint64_t> offsets{0};
+    std::vector<uint32_t> words;
+    for (size_t d = 0; d < corpus.num_docs(); ++d) {
+      if (heldout_mask[d] != side) continue;
+      const auto tokens = corpus.DocTokens(d);
+      words.insert(words.end(), tokens.begin(), tokens.end());
+      offsets.push_back(words.size());
+    }
+    return Corpus(corpus.vocab_size(), std::move(offsets), std::move(words));
+  };
+  return {build(false), build(true)};
+}
+
+Corpus SliceDocuments(const Corpus& corpus, size_t doc_begin,
+                      size_t doc_end) {
+  CULDA_CHECK(doc_begin <= doc_end && doc_end <= corpus.num_docs());
+  std::vector<uint64_t> offsets{0};
+  std::vector<uint32_t> words;
+  for (size_t d = doc_begin; d < doc_end; ++d) {
+    const auto tokens = corpus.DocTokens(d);
+    words.insert(words.end(), tokens.begin(), tokens.end());
+    offsets.push_back(words.size());
+  }
+  return Corpus(corpus.vocab_size(), std::move(offsets), std::move(words));
+}
+
+}  // namespace culda::corpus

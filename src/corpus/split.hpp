@@ -1,0 +1,31 @@
+// Train / held-out corpus splitting.
+//
+// Held-out evaluation (document-completion perplexity) needs documents the
+// trainer never saw, drawn from the same collection. SplitByDocuments keeps
+// every document intact and assigns a deterministic pseudo-random subset to
+// the held-out side.
+#pragma once
+
+#include <cstdint>
+
+#include "corpus/corpus.hpp"
+
+namespace culda::corpus {
+
+struct CorpusSplit {
+  Corpus train;
+  Corpus heldout;
+};
+
+/// Splits `corpus` by documents: each document lands in the held-out set
+/// with probability `heldout_fraction`, decided by a Philox stream keyed by
+/// (seed, document id) — deterministic and order-independent. At least one
+/// document is kept on each side (the fraction is nudged if necessary).
+CorpusSplit SplitByDocuments(const Corpus& corpus, double heldout_fraction,
+                             uint64_t seed = 17);
+
+/// Extracts the contiguous document range [doc_begin, doc_end) as a corpus.
+Corpus SliceDocuments(const Corpus& corpus, size_t doc_begin,
+                      size_t doc_end);
+
+}  // namespace culda::corpus

@@ -1,0 +1,80 @@
+#include "corpus/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace culda::corpus {
+
+DistributionSummary Summarize(std::vector<uint64_t> values) {
+  DistributionSummary s;
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.count = values.size();
+  s.min = values.front();
+  s.max = values.back();
+  auto rank = [&](double p) {
+    const size_t i = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+    return values[std::min(i, values.size() - 1)];
+  };
+  s.p25 = rank(0.25);
+  s.median = rank(0.50);
+  s.p75 = rank(0.75);
+  s.p99 = rank(0.99);
+  double sum = 0;
+  for (const uint64_t v : values) sum += static_cast<double>(v);
+  s.mean = sum / static_cast<double>(values.size());
+  return s;
+}
+
+CorpusStats ComputeStats(const Corpus& corpus) {
+  CorpusStats stats;
+
+  std::vector<uint64_t> lengths(corpus.num_docs());
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    lengths[d] = corpus.DocLength(d);
+  }
+  stats.doc_lengths = Summarize(std::move(lengths));
+
+  const auto freq = corpus.WordFrequencies();
+  std::vector<uint64_t> nonzero;
+  nonzero.reserve(freq.size());
+  for (const uint64_t f : freq) {
+    if (f > 0) nonzero.push_back(f);
+  }
+  stats.vocab_used = static_cast<uint32_t>(nonzero.size());
+
+  // Head share: the top 1% of occurring words by frequency.
+  if (!nonzero.empty() && corpus.num_tokens() > 0) {
+    std::vector<uint64_t> sorted = nonzero;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    const size_t head = std::max<size_t>(1, sorted.size() / 100);
+    uint64_t head_tokens = 0;
+    for (size_t i = 0; i < head; ++i) head_tokens += sorted[i];
+    stats.top1pct_token_share =
+        static_cast<double>(head_tokens) /
+        static_cast<double>(corpus.num_tokens());
+  }
+  stats.word_frequencies = Summarize(std::move(nonzero));
+  return stats;
+}
+
+std::string FormatStats(const CorpusStats& stats, const std::string& name) {
+  std::ostringstream os;
+  const auto& dl = stats.doc_lengths;
+  const auto& wf = stats.word_frequencies;
+  os << name << " statistics:\n"
+     << "  doc length: mean " << dl.mean << ", min " << dl.min << ", p25 "
+     << dl.p25 << ", median " << dl.median << ", p75 " << dl.p75 << ", p99 "
+     << dl.p99 << ", max " << dl.max << "\n"
+     << "  word freq (over " << stats.vocab_used
+     << " occurring words): mean " << wf.mean << ", median " << wf.median
+     << ", p99 " << wf.p99 << ", max " << wf.max << "\n"
+     << "  top-1% words carry "
+     << static_cast<int>(stats.top1pct_token_share * 100 + 0.5)
+     << "% of tokens";
+  return os.str();
+}
+
+}  // namespace culda::corpus

@@ -1,0 +1,47 @@
+// Corpus statistics: document-length and word-frequency distributions.
+//
+// These are the two shape properties that drive CuLDA's performance story —
+// doc lengths control θ sparsity (the Figure 7 ramp and the NYTimes/PubMed
+// contrast), word frequencies control block-level work skew (the Figure 6
+// heavy-word handling). The benches print them as the Table 3 analogue, and
+// tests use them to verify the synthetic profiles match their targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+
+namespace culda::corpus {
+
+struct DistributionSummary {
+  uint64_t count = 0;
+  uint64_t min = 0;
+  uint64_t p25 = 0;
+  uint64_t median = 0;
+  uint64_t p75 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+  double mean = 0;
+};
+
+/// Summarizes a sample of non-negative values. Percentiles use the
+/// nearest-rank method; an empty sample yields all zeros.
+DistributionSummary Summarize(std::vector<uint64_t> values);
+
+struct CorpusStats {
+  DistributionSummary doc_lengths;
+  DistributionSummary word_frequencies;  ///< over words with ≥1 occurrence
+  uint32_t vocab_used = 0;   ///< words that actually occur
+  /// Fraction of all tokens carried by the most frequent 1% of words — the
+  /// head weight of the Zipf distribution.
+  double top1pct_token_share = 0;
+};
+
+CorpusStats ComputeStats(const Corpus& corpus);
+
+/// Multi-line human-readable report.
+std::string FormatStats(const CorpusStats& stats, const std::string& name);
+
+}  // namespace culda::corpus

@@ -1,0 +1,140 @@
+#include "corpus/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::corpus {
+
+namespace {
+
+/// Samples a Dirichlet(concentration * base) vector as normalized gammas,
+/// then converts to an inclusive-prefix CDF for O(log n) multinomials.
+std::vector<double> DirichletCdf(std::mt19937_64& rng,
+                                 const std::vector<double>& alpha) {
+  std::vector<double> v(alpha.size());
+  double sum = 0;
+  for (size_t i = 0; i < alpha.size(); ++i) {
+    std::gamma_distribution<double> gamma(alpha[i], 1.0);
+    v[i] = gamma(rng);
+    sum += v[i];
+  }
+  // Guard against an all-underflow draw (tiny concentrations can produce
+  // gamma variates that all round to 0).
+  if (sum <= 0) {
+    std::uniform_int_distribution<size_t> pick(0, v.size() - 1);
+    v.assign(v.size(), 0.0);
+    v[pick(rng)] = 1.0;
+    sum = 1.0;
+  }
+  double acc = 0;
+  for (auto& x : v) {
+    acc += x / sum;
+    x = acc;
+  }
+  v.back() = 1.0;
+  return v;
+}
+
+size_t SampleCdf(std::mt19937_64& rng, const std::vector<double>& cdf) {
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const double u = uni(rng);
+  const auto it = std::upper_bound(cdf.begin(), cdf.end(), u);
+  return std::min(static_cast<size_t>(it - cdf.begin()), cdf.size() - 1);
+}
+
+}  // namespace
+
+SyntheticProfile NyTimesProfile(double scale) {
+  CULDA_CHECK_MSG(scale > 0 && scale <= 1.0, "scale must be in (0, 1]");
+  SyntheticProfile p;
+  p.name = "NYTimes-like";
+  p.num_docs = std::max<uint64_t>(100, static_cast<uint64_t>(299752 * scale));
+  p.vocab_size = std::max<uint32_t>(
+      1000, static_cast<uint32_t>(101636 * std::sqrt(scale)));
+  p.num_topics = 100;
+  p.avg_doc_length = 332;  // 99.5M tokens / 299,752 docs
+  p.doc_length_sigma = 0.7;
+  p.seed = 20190624;  // HPDC'19
+  return p;
+}
+
+SyntheticProfile PubMedProfile(double scale) {
+  CULDA_CHECK_MSG(scale > 0 && scale <= 1.0, "scale must be in (0, 1]");
+  SyntheticProfile p;
+  p.name = "PubMed-like";
+  p.num_docs = std::max<uint64_t>(100, static_cast<uint64_t>(8200000 * scale));
+  p.vocab_size = std::max<uint32_t>(
+      1000, static_cast<uint32_t>(141043 * std::sqrt(scale)));
+  p.num_topics = 100;
+  p.avg_doc_length = 90;  // 737.9M tokens / 8.2M docs
+  p.doc_length_sigma = 0.45;
+  p.seed = 20190625;
+  return p;
+}
+
+Corpus GenerateCorpus(const SyntheticProfile& profile) {
+  CULDA_CHECK(profile.num_docs > 0);
+  CULDA_CHECK(profile.vocab_size > 1);
+  CULDA_CHECK(profile.num_topics > 0);
+  std::mt19937_64 rng(profile.seed);
+
+  // Zipfian base measure over the vocabulary.
+  std::vector<double> base(profile.vocab_size);
+  double base_sum = 0;
+  for (uint32_t v = 0; v < profile.vocab_size; ++v) {
+    base[v] = 1.0 / std::pow(static_cast<double>(v) + 2.0,
+                             profile.zipf_exponent);
+    base_sum += base[v];
+  }
+  for (auto& b : base) b /= base_sum;
+
+  // Topic–word distributions: Dirichlet over the Zipfian base, so the
+  // corpus keeps a realistic head/tail word-frequency split.
+  std::vector<std::vector<double>> topic_word_cdf(profile.num_topics);
+  {
+    std::vector<double> alpha(profile.vocab_size);
+    for (uint32_t k = 0; k < profile.num_topics; ++k) {
+      for (uint32_t v = 0; v < profile.vocab_size; ++v) {
+        alpha[v] = profile.topic_word_beta * profile.vocab_size * base[v];
+      }
+      topic_word_cdf[k] = DirichletCdf(rng, alpha);
+    }
+  }
+
+  // Document lengths: lognormal with the profile mean.
+  const double sigma = profile.doc_length_sigma;
+  const double mu = std::log(profile.avg_doc_length) - sigma * sigma / 2.0;
+  std::lognormal_distribution<double> length_dist(mu, sigma);
+
+  std::vector<uint64_t> doc_offsets;
+  doc_offsets.reserve(profile.num_docs + 1);
+  doc_offsets.push_back(0);
+  std::vector<uint32_t> words;
+  words.reserve(static_cast<size_t>(profile.num_docs *
+                                    profile.avg_doc_length * 1.1));
+
+  std::vector<double> doc_alpha(profile.num_topics, profile.doc_topic_alpha *
+                                                        profile.num_topics /
+                                                        profile.num_topics);
+  std::fill(doc_alpha.begin(), doc_alpha.end(), profile.doc_topic_alpha);
+
+  for (uint64_t d = 0; d < profile.num_docs; ++d) {
+    const auto len = std::max<uint64_t>(
+        profile.min_doc_length, static_cast<uint64_t>(length_dist(rng)));
+    const std::vector<double> theta_cdf = DirichletCdf(rng, doc_alpha);
+    for (uint64_t t = 0; t < len; ++t) {
+      const size_t k = SampleCdf(rng, theta_cdf);
+      const size_t w = SampleCdf(rng, topic_word_cdf[k]);
+      words.push_back(static_cast<uint32_t>(w));
+    }
+    doc_offsets.push_back(words.size());
+  }
+
+  return Corpus(profile.vocab_size, std::move(doc_offsets), std::move(words));
+}
+
+}  // namespace culda::corpus

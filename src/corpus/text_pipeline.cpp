@@ -1,0 +1,96 @@
+#include "corpus/text_pipeline.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <istream>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace culda::corpus {
+
+std::unordered_set<std::string>
+TextPipelineOptions::DefaultEnglishStopwords() {
+  return {"a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",
+          "for",  "from", "has",  "have", "he",   "her",  "his",  "in",
+          "is",   "it",   "its",  "of",   "on",   "or",   "she",  "that",
+          "the",  "their", "they", "this", "to",   "was",  "were", "which",
+          "will", "with", "but",  "not",  "we",   "you",  "i",    "had",
+          "been", "would", "there", "what", "when", "who",  "how",  "all"};
+}
+
+TextPipeline::TextPipeline(TextPipelineOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<std::string> TextPipeline::Tokenize(
+    std::string_view text, const TextPipelineOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (current.size() >= options.min_word_length &&
+        options.stopwords.find(current) == options.stopwords.end()) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (const char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(options.lowercase
+                            ? static_cast<char>(std::tolower(c))
+                            : raw);
+    } else if (!current.empty()) {
+      flush();
+    }
+  }
+  if (!current.empty()) flush();
+  return tokens;
+}
+
+void TextPipeline::AddDocument(std::string_view text) {
+  docs_.push_back(Tokenize(text, options_));
+}
+
+size_t TextPipeline::AddDocumentsFromStream(std::istream& in) {
+  size_t added = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    AddDocument(line);
+    ++added;
+  }
+  return added;
+}
+
+TextPipeline::Result TextPipeline::Build() const {
+  // Global frequencies drive min_word_count pruning.
+  std::unordered_map<std::string, uint64_t> freq;
+  uint64_t raw_tokens = 0;
+  for (const auto& doc : docs_) {
+    for (const auto& w : doc) {
+      ++freq[w];
+      ++raw_tokens;
+    }
+  }
+
+  Result result;
+  std::vector<uint64_t> offsets{0};
+  std::vector<uint32_t> words;
+  words.reserve(raw_tokens);
+  for (const auto& doc : docs_) {
+    for (const auto& w : doc) {
+      if (freq[w] < options_.min_word_count) {
+        ++result.dropped_tokens;
+        continue;
+      }
+      words.push_back(result.vocabulary.GetOrAdd(w));
+    }
+    offsets.push_back(words.size());
+  }
+  CULDA_CHECK_MSG(!result.vocabulary.empty(),
+                  "text pipeline produced an empty vocabulary");
+  result.corpus = Corpus(result.vocabulary.size(), std::move(offsets),
+                         std::move(words));
+  return result;
+}
+
+}  // namespace culda::corpus

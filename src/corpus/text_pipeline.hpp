@@ -1,0 +1,72 @@
+// Plain-text → corpus pipeline.
+//
+// Takes raw documents (one per line, or any istream-per-doc source),
+// tokenizes (lowercase, alphanumeric runs), filters stopwords and rare/short
+// words, builds the Vocabulary, and emits a trainable Corpus. This is the
+// preprocessing stage the paper assigns to the CPU side of the system
+// (Section 3.2: "The CPUs are responsible for data preprocessing").
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/corpus.hpp"
+#include "corpus/vocabulary.hpp"
+
+namespace culda::corpus {
+
+struct TextPipelineOptions {
+  /// Words shorter than this are dropped.
+  uint32_t min_word_length = 2;
+  /// Words occurring fewer than this many times corpus-wide are dropped
+  /// (and their tokens removed). The UCI dumps are pruned the same way.
+  uint32_t min_word_count = 1;
+  /// Lowercase all tokens before lookup.
+  bool lowercase = true;
+  /// Words to drop entirely (compared after lowercasing if enabled).
+  std::unordered_set<std::string> stopwords;
+
+  /// A small default English stopword list (articles, pronouns,
+  /// prepositions — the high-frequency glue the UCI dumps also exclude).
+  static std::unordered_set<std::string> DefaultEnglishStopwords();
+};
+
+class TextPipeline {
+ public:
+  explicit TextPipeline(TextPipelineOptions options = {});
+
+  /// Tokenizes and adds one document. Empty documents are kept (they simply
+  /// have no tokens) so external document ids stay aligned.
+  void AddDocument(std::string_view text);
+
+  /// Adds one document per line of `in`; returns the number added.
+  size_t AddDocumentsFromStream(std::istream& in);
+
+  size_t num_documents() const { return docs_.size(); }
+
+  /// Applies min_word_count pruning and produces the corpus + vocabulary.
+  /// The pipeline can keep accepting documents afterwards; each Build sees
+  /// everything added so far.
+  struct Result {
+    Corpus corpus;
+    Vocabulary vocabulary;
+    uint64_t dropped_tokens = 0;  ///< removed by pruning/stopwords/length
+  };
+  Result Build() const;
+
+  /// Tokenization used by the pipeline, exposed for reuse: lowercased
+  /// alphanumeric runs (configurable via options).
+  static std::vector<std::string> Tokenize(std::string_view text,
+                                           const TextPipelineOptions& options);
+
+ private:
+  TextPipelineOptions options_;
+  std::vector<std::vector<std::string>> docs_;  ///< tokenized documents
+  uint64_t dropped_early_ = 0;  ///< stopword/length drops at add time
+};
+
+}  // namespace culda::corpus

@@ -1,0 +1,73 @@
+#include "corpus/uci_reader.hpp"
+
+#include <fstream>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::corpus {
+
+Corpus ReadUciBagOfWords(std::istream& in) {
+  uint64_t num_docs = 0, vocab = 0, nnz = 0;
+  CULDA_CHECK_MSG(static_cast<bool>(in >> num_docs >> vocab >> nnz),
+                  "UCI header (D, W, NNZ) missing or malformed");
+  CULDA_CHECK_MSG(num_docs > 0 && vocab > 0, "empty UCI header");
+
+  // Entries may arrive in any doc order; bucket them per document first.
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> docs(num_docs);
+  for (uint64_t i = 0; i < nnz; ++i) {
+    uint64_t doc_id = 0, word_id = 0, count = 0;
+    CULDA_CHECK_MSG(static_cast<bool>(in >> doc_id >> word_id >> count),
+                    "UCI entry " << i << " malformed (expected " << nnz
+                                 << " entries)");
+    CULDA_CHECK_MSG(doc_id >= 1 && doc_id <= num_docs,
+                    "doc id " << doc_id << " out of [1, " << num_docs << "]");
+    CULDA_CHECK_MSG(word_id >= 1 && word_id <= vocab,
+                    "word id " << word_id << " out of [1, " << vocab << "]");
+    CULDA_CHECK_MSG(count >= 1, "zero count at entry " << i);
+    docs[doc_id - 1].emplace_back(static_cast<uint32_t>(word_id - 1),
+                                  static_cast<uint32_t>(count));
+  }
+
+  std::vector<uint64_t> doc_offsets;
+  doc_offsets.reserve(num_docs + 1);
+  doc_offsets.push_back(0);
+  std::vector<uint32_t> words;
+  for (const auto& entries : docs) {
+    for (const auto& [word, count] : entries) {
+      for (uint32_t c = 0; c < count; ++c) words.push_back(word);
+    }
+    doc_offsets.push_back(words.size());
+  }
+  return Corpus(static_cast<uint32_t>(vocab), std::move(doc_offsets),
+                std::move(words));
+}
+
+Corpus ReadUciBagOfWordsFile(const std::string& path) {
+  std::ifstream in(path);
+  CULDA_CHECK_MSG(in.good(), "cannot open UCI file '" << path << "'");
+  return ReadUciBagOfWords(in);
+}
+
+void WriteUciBagOfWords(const Corpus& corpus, std::ostream& out) {
+  // Count (doc, word) pairs.
+  uint64_t nnz = 0;
+  std::vector<std::map<uint32_t, uint32_t>> counts(corpus.num_docs());
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    for (const uint32_t w : corpus.DocTokens(d)) ++counts[d][w];
+    nnz += counts[d].size();
+  }
+  out << corpus.num_docs() << "\n" << corpus.vocab_size() << "\n" << nnz
+      << "\n";
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    for (const auto& [w, c] : counts[d]) {
+      out << (d + 1) << " " << (w + 1) << " " << c << "\n";
+    }
+  }
+}
+
+}  // namespace culda::corpus

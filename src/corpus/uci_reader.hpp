@@ -1,0 +1,34 @@
+// UCI "bag of words" format I/O.
+//
+// Both of the paper's datasets (NYTimes, PubMed) ship in this format from
+// the UCI repository:
+//
+//   D          (number of documents)
+//   W          (vocabulary size)
+//   NNZ        (number of (doc, word) pairs)
+//   docID wordID count        (1-based ids, NNZ lines)
+//
+// ReadUciBagOfWords expands counts into tokens so real datasets drop into
+// the trainer unchanged; WriteUciBagOfWords round-trips synthetic corpora
+// for interchange and tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "corpus/corpus.hpp"
+
+namespace culda::corpus {
+
+/// Parses a UCI bag-of-words stream. Throws culda::Error on malformed input
+/// (non-monotonic doc ids are accepted; ids out of range are not).
+Corpus ReadUciBagOfWords(std::istream& in);
+
+/// Convenience overload opening `path`.
+Corpus ReadUciBagOfWordsFile(const std::string& path);
+
+/// Writes `corpus` in UCI bag-of-words format (tokens of equal (doc, word)
+/// are merged into counts, as the format requires).
+void WriteUciBagOfWords(const Corpus& corpus, std::ostream& out);
+
+}  // namespace culda::corpus

@@ -1,0 +1,49 @@
+#include "corpus/vocabulary.hpp"
+
+#include <istream>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace culda::corpus {
+
+uint32_t Vocabulary::GetOrAdd(std::string_view word) {
+  const auto it = index_.find(std::string(word));
+  if (it != index_.end()) return it->second;
+  const uint32_t id = static_cast<uint32_t>(words_.size());
+  words_.emplace_back(word);
+  index_.emplace(words_.back(), id);
+  return id;
+}
+
+uint32_t Vocabulary::Find(std::string_view word) const {
+  const auto it = index_.find(std::string(word));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& Vocabulary::WordOf(uint32_t id) const {
+  CULDA_CHECK_MSG(id < words_.size(), "word id " << id << " out of range");
+  return words_[id];
+}
+
+Vocabulary Vocabulary::FromStream(std::istream& in) {
+  Vocabulary v;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    const uint32_t before = v.size();
+    const uint32_t id = v.GetOrAdd(line);
+    CULDA_CHECK_MSG(id == before, "duplicate vocabulary word '" << line
+                                                                << "'");
+  }
+  return v;
+}
+
+void Vocabulary::WriteTo(std::ostream& out) const {
+  for (const auto& w : words_) out << w << "\n";
+}
+
+}  // namespace culda::corpus

@@ -1,0 +1,48 @@
+// Vocabulary: the bidirectional word ↔ id mapping.
+//
+// The trainer operates on integer word ids; this is the boundary where real
+// text enters the system. Supports insertion-ordered construction (ids are
+// stable and dense), lookup, frequency-based pruning, and the UCI `vocab.*`
+// sidecar format the paper's datasets ship with.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace culda::corpus {
+
+class Vocabulary {
+ public:
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+
+  Vocabulary() = default;
+
+  /// Returns the id for `word`, inserting it if new.
+  uint32_t GetOrAdd(std::string_view word);
+
+  /// Returns the id for `word` or kNotFound.
+  uint32_t Find(std::string_view word) const;
+
+  /// The word for an id; id must be < size().
+  const std::string& WordOf(uint32_t id) const;
+
+  uint32_t size() const { return static_cast<uint32_t>(words_.size()); }
+  bool empty() const { return words_.empty(); }
+
+  /// Reads one word per line (the UCI `vocab.<dataset>.txt` format); ids are
+  /// line numbers starting at 0. Throws on duplicate words.
+  static Vocabulary FromStream(std::istream& in);
+
+  /// Writes one word per line in id order.
+  void WriteTo(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+}  // namespace culda::corpus

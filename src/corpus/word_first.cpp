@@ -1,0 +1,232 @@
+#include "corpus/word_first.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace culda::corpus {
+
+WordFirstChunk BuildWordFirstChunk(const Corpus& corpus,
+                                   const ChunkSpec& spec) {
+  CULDA_CHECK(spec.doc_end <= corpus.num_docs());
+  WordFirstChunk out;
+  out.spec = spec;
+  out.vocab_size = corpus.vocab_size();
+  const uint64_t n = spec.num_tokens();
+  CULDA_CHECK_MSG(corpus.num_tokens() <= UINT32_MAX,
+                  "corpus exceeds 2^32 tokens; widen token_global");
+  out.token_word.resize(n);
+  out.token_doc.resize(n);
+  out.token_global.resize(n);
+
+  // Counting sort by word id.
+  out.word_offsets.assign(corpus.vocab_size() + 1, 0);
+  for (uint64_t d = spec.doc_begin; d < spec.doc_end; ++d) {
+    for (const uint32_t w : corpus.DocTokens(d)) {
+      ++out.word_offsets[w + 1];
+    }
+  }
+  for (size_t w = 0; w < corpus.vocab_size(); ++w) {
+    out.word_offsets[w + 1] += out.word_offsets[w];
+  }
+  std::vector<uint64_t> cursor(out.word_offsets.begin(),
+                               out.word_offsets.end() - 1);
+  for (uint64_t d = spec.doc_begin; d < spec.doc_end; ++d) {
+    const uint32_t local_doc = static_cast<uint32_t>(d - spec.doc_begin);
+    const uint64_t doc_base = corpus.DocBegin(d);
+    const auto tokens = corpus.DocTokens(d);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const uint64_t pos = cursor[tokens[i]]++;
+      out.token_word[pos] = tokens[i];
+      out.token_doc[pos] = local_doc;
+      out.token_global[pos] = static_cast<uint32_t>(doc_base + i);
+    }
+  }
+
+  // Document→token map over the sorted layout.
+  const uint64_t num_docs = spec.num_docs();
+  out.doc_map_offsets.assign(num_docs + 1, 0);
+  for (uint64_t t = 0; t < n; ++t) {
+    ++out.doc_map_offsets[out.token_doc[t] + 1];
+  }
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    out.doc_map_offsets[d + 1] += out.doc_map_offsets[d];
+  }
+  out.doc_map.resize(n);
+  std::vector<uint64_t> doc_cursor(out.doc_map_offsets.begin(),
+                                   out.doc_map_offsets.end() - 1);
+  for (uint64_t t = 0; t < n; ++t) {
+    out.doc_map[doc_cursor[out.token_doc[t]]++] = static_cast<uint32_t>(t);
+  }
+  return out;
+}
+
+uint64_t WordFirstChunk::DeviceBytes() const {
+  return token_global.size() * sizeof(uint32_t) +
+         token_doc.size() * sizeof(uint32_t) +
+         word_offsets.size() * sizeof(uint64_t) +
+         doc_map_offsets.size() * sizeof(uint64_t) +
+         doc_map.size() * sizeof(uint32_t);
+}
+
+void WordFirstChunk::Validate(const Corpus& corpus) const {
+  CULDA_CHECK(token_word.size() == spec.num_tokens());
+  CULDA_CHECK(token_doc.size() == spec.num_tokens());
+  CULDA_CHECK(word_offsets.size() == corpus.vocab_size() + 1);
+  CULDA_CHECK(word_offsets.front() == 0);
+  CULDA_CHECK(word_offsets.back() == token_word.size());
+
+  // Word-major: every token inside a word segment carries that word id, and
+  // per-word counts match the corpus slice.
+  std::vector<uint64_t> freq(corpus.vocab_size(), 0);
+  for (uint64_t d = spec.doc_begin; d < spec.doc_end; ++d) {
+    for (const uint32_t w : corpus.DocTokens(d)) ++freq[w];
+  }
+  for (uint32_t w = 0; w < corpus.vocab_size(); ++w) {
+    CULDA_CHECK(WordCount(w) == freq[w]);
+    for (uint64_t t = word_offsets[w]; t < word_offsets[w + 1]; ++t) {
+      CULDA_CHECK(token_word[t] == w);
+    }
+  }
+
+  // token_global maps each sorted token back to its corpus position.
+  CULDA_CHECK(token_global.size() == token_word.size());
+  for (uint64_t t = 0; t < token_global.size(); ++t) {
+    const uint32_t g = token_global[t];
+    CULDA_CHECK(g >= spec.token_begin && g < spec.token_end);
+    CULDA_CHECK(corpus.words()[g] == token_word[t]);
+  }
+
+  // Doc map is a permutation of [0, n) grouped by document.
+  CULDA_CHECK(doc_map.size() == token_word.size());
+  std::vector<bool> seen(doc_map.size(), false);
+  for (uint64_t d = 0; d < spec.num_docs(); ++d) {
+    for (uint64_t i = doc_map_offsets[d]; i < doc_map_offsets[d + 1]; ++i) {
+      const uint32_t t = doc_map[i];
+      CULDA_CHECK(!seen[t]);
+      seen[t] = true;
+      CULDA_CHECK(token_doc[t] == d);
+    }
+  }
+}
+
+std::vector<WordRange> PartitionWordsByTokens(const Corpus& corpus,
+                                              uint32_t num_chunks) {
+  CULDA_CHECK(num_chunks >= 1);
+  const auto freq = corpus.WordFrequencies();
+  std::vector<uint64_t> prefix(freq.size() + 1, 0);
+  for (size_t v = 0; v < freq.size(); ++v) {
+    prefix[v + 1] = prefix[v] + freq[v];
+  }
+  const uint64_t total = prefix.back();
+
+  std::vector<WordRange> ranges(num_chunks);
+  uint32_t word = 0;
+  for (uint32_t c = 0; c < num_chunks; ++c) {
+    WordRange& r = ranges[c];
+    r.id = c;
+    r.word_begin = word;
+    if (c + 1 == num_chunks) {
+      word = corpus.vocab_size();
+    } else {
+      const uint64_t target = total * (c + 1) / num_chunks;
+      while (word < corpus.vocab_size() && prefix[word + 1] <= target) {
+        ++word;
+      }
+      if (word < corpus.vocab_size()) {
+        const bool empty = word == r.word_begin;
+        const bool closer = target - prefix[word] > prefix[word + 1] - target;
+        if (empty || closer) ++word;
+      }
+    }
+    r.word_end = word;
+    r.num_tokens = prefix[r.word_end] - prefix[r.word_begin];
+  }
+  CULDA_CHECK(word == corpus.vocab_size());
+  return ranges;
+}
+
+WordFirstChunk BuildWordRangeChunk(const Corpus& corpus,
+                                   const WordRange& range) {
+  CULDA_CHECK(range.word_begin <= range.word_end &&
+              range.word_end <= corpus.vocab_size());
+  CULDA_CHECK_MSG(corpus.num_tokens() <= UINT32_MAX,
+                  "corpus exceeds 2^32 tokens; widen token_global");
+  WordFirstChunk out;
+  out.spec = ChunkSpec{range.id, 0, corpus.num_docs(), 0,
+                       corpus.num_tokens()};
+  out.vocab_size = corpus.vocab_size();
+
+  // Counting sort over the full vocabulary; words outside the range simply
+  // have empty segments.
+  out.word_offsets.assign(corpus.vocab_size() + 1, 0);
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    for (const uint32_t w : corpus.DocTokens(d)) {
+      if (w >= range.word_begin && w < range.word_end) {
+        ++out.word_offsets[w + 1];
+      }
+    }
+  }
+  for (size_t w = 0; w < corpus.vocab_size(); ++w) {
+    out.word_offsets[w + 1] += out.word_offsets[w];
+  }
+  const uint64_t n = out.word_offsets.back();
+  CULDA_CHECK(n == range.num_tokens);
+  out.token_word.resize(n);
+  out.token_doc.resize(n);
+  out.token_global.resize(n);
+
+  std::vector<uint64_t> cursor(out.word_offsets.begin(),
+                               out.word_offsets.end() - 1);
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    const uint64_t doc_base = corpus.DocBegin(d);
+    const auto tokens = corpus.DocTokens(d);
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      const uint32_t w = tokens[i];
+      if (w < range.word_begin || w >= range.word_end) continue;
+      const uint64_t pos = cursor[w]++;
+      out.token_word[pos] = w;
+      out.token_doc[pos] = static_cast<uint32_t>(d);
+      out.token_global[pos] = static_cast<uint32_t>(doc_base + i);
+    }
+  }
+
+  // Document→token map over all documents.
+  out.doc_map_offsets.assign(corpus.num_docs() + 1, 0);
+  for (uint64_t t = 0; t < n; ++t) {
+    ++out.doc_map_offsets[out.token_doc[t] + 1];
+  }
+  for (size_t d = 0; d < corpus.num_docs(); ++d) {
+    out.doc_map_offsets[d + 1] += out.doc_map_offsets[d];
+  }
+  out.doc_map.resize(n);
+  std::vector<uint64_t> doc_cursor(out.doc_map_offsets.begin(),
+                                   out.doc_map_offsets.end() - 1);
+  for (uint64_t t = 0; t < n; ++t) {
+    out.doc_map[doc_cursor[out.token_doc[t]]++] = static_cast<uint32_t>(t);
+  }
+  return out;
+}
+
+std::vector<BlockWork> BuildBlockWorkList(const WordFirstChunk& chunk,
+                                          uint64_t max_tokens_per_block) {
+  CULDA_CHECK(max_tokens_per_block >= 1);
+  std::vector<BlockWork> work;
+  for (uint32_t w = 0; w < chunk.vocab_size; ++w) {
+    const uint64_t begin = chunk.word_offsets[w];
+    const uint64_t end = chunk.word_offsets[w + 1];
+    for (uint64_t b = begin; b < end; b += max_tokens_per_block) {
+      work.push_back({w, b, std::min(end, b + max_tokens_per_block)});
+    }
+  }
+  // Heaviest blocks first; ties broken by word id for determinism.
+  std::sort(work.begin(), work.end(), [](const BlockWork& a,
+                                         const BlockWork& b) {
+    if (a.size() != b.size()) return a.size() > b.size();
+    if (a.word != b.word) return a.word < b.word;
+    return a.token_begin < b.token_begin;
+  });
+  return work;
+}
+
+}  // namespace culda::corpus

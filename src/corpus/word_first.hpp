@@ -1,0 +1,100 @@
+// Word-first chunk layout and block work lists (Figure 6, Section 6).
+//
+// CuLDA sorts each corpus chunk's tokens word-first so that all samplers in
+// one thread block process tokens of the same word and can share the p2/p*
+// index tree in shared memory. Heavy words are split across several blocks
+// to avoid load imbalance, and the work list is ordered heaviest-first so
+// the GPU scheduler issues the long-running blocks early (no long-tail).
+//
+// The θ update (Section 6.2) walks tokens document-by-document; since the
+// word-first order scatters a document's tokens, the CPU precomputes a
+// document→token map at preprocessing time — BuildWordFirstChunk produces it
+// together with the sorted layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "corpus/chunking.hpp"
+#include "corpus/corpus.hpp"
+
+namespace culda::corpus {
+
+struct WordFirstChunk {
+  ChunkSpec spec;
+  uint32_t vocab_size = 0;
+
+  /// Tokens in word-major order (within a word: document order).
+  std::vector<uint32_t> token_word;  ///< word id per sorted token
+  std::vector<uint32_t> token_doc;   ///< local doc index per sorted token
+  /// Position of each sorted token in the *corpus-global* document-major
+  /// order. This is the token's stable identity: the sampler keys its random
+  /// stream by it, which makes training results independent of how the
+  /// corpus is partitioned (1 GPU ≡ 4 GPUs ≡ streamed chunks).
+  std::vector<uint32_t> token_global;
+  std::vector<uint64_t> word_offsets;  ///< V+1 offsets into the sorted tokens
+
+  /// Document→token map: for local document d, sorted-token indices
+  /// doc_map[doc_map_offsets[d] .. doc_map_offsets[d+1]) are its tokens.
+  std::vector<uint64_t> doc_map_offsets;
+  std::vector<uint32_t> doc_map;
+
+  uint64_t num_tokens() const { return token_word.size(); }
+  uint64_t num_docs() const { return spec.num_docs(); }
+
+  uint64_t WordCount(uint32_t w) const {
+    return word_offsets[w + 1] - word_offsets[w];
+  }
+
+  /// Device-resident footprint of the chunk (token arrays + doc map), used
+  /// by the scheduler's memory-capacity check (Section 5.1).
+  uint64_t DeviceBytes() const;
+
+  /// Consistency check against the source corpus; throws on mismatch.
+  void Validate(const Corpus& corpus) const;
+};
+
+WordFirstChunk BuildWordFirstChunk(const Corpus& corpus,
+                                   const ChunkSpec& spec);
+
+/// A contiguous vocabulary range [word_begin, word_end) — the chunk unit of
+/// the partition-by-word policy Section 4 *rejects* (kept so the rejected
+/// design can be measured, not just argued about; see
+/// core::WordPartitionTrainer).
+struct WordRange {
+  uint32_t id = 0;
+  uint32_t word_begin = 0;
+  uint32_t word_end = 0;
+  uint64_t num_tokens = 0;
+};
+
+/// Splits the vocabulary into `num_chunks` contiguous ranges with token
+/// counts as even as word granularity allows.
+std::vector<WordRange> PartitionWordsByTokens(const Corpus& corpus,
+                                              uint32_t num_chunks);
+
+/// Builds the word-first layout of one word range across ALL documents.
+/// `token_doc` holds corpus-global document ids; `doc_map_offsets` spans all
+/// documents (documents with no tokens of these words have empty ranges);
+/// spec covers the full document range with token_{begin,end} = 0 (token
+/// positions are not contiguous for a word range — token_global carries
+/// identity instead).
+WordFirstChunk BuildWordRangeChunk(const Corpus& corpus,
+                                   const WordRange& range);
+
+/// One thread block's share of the sampling work: a token range of a single
+/// word (Figure 6).
+struct BlockWork {
+  uint32_t word = 0;
+  uint64_t token_begin = 0;
+  uint64_t token_end = 0;
+  uint64_t size() const { return token_end - token_begin; }
+};
+
+/// Builds the per-block work list: every word with tokens contributes
+/// ceil(count / max_tokens_per_block) blocks; the list is sorted by
+/// descending size (heavy words first — the paper's long-tail avoidance).
+std::vector<BlockWork> BuildBlockWorkList(const WordFirstChunk& chunk,
+                                          uint64_t max_tokens_per_block);
+
+}  // namespace culda::corpus

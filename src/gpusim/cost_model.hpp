@@ -1,0 +1,66 @@
+// Roofline cost model: KernelCounters → simulated seconds.
+//
+// The paper's own bottleneck analysis (Section 3, Table 1) is a roofline
+// argument — LDA sampling does ~0.27 flops per byte, far below every GPU's
+// balance point, so kernel time is dominated by memory traffic. The model
+// bills each traffic class at its bandwidth, takes the max with the compute
+// and atomic terms (overlapped pipelines), and adds launch/issue overheads
+// (which is what makes many tiny kernels slow, and why CuLDA batches work).
+#pragma once
+
+#include <algorithm>
+
+#include "gpusim/counters.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace culda::gpusim {
+
+struct KernelTimeBreakdown {
+  double dram_s = 0;
+  double l1_s = 0;
+  double shared_s = 0;
+  double compute_s = 0;
+  double atomic_s = 0;
+  double overhead_s = 0;
+  double total_s = 0;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const DeviceSpec& spec) : spec_(spec) {}
+
+  /// `mem_derate`: achievable fraction of streaming bandwidth for this
+  /// kernel's access pattern (see LaunchConfig::mem_derate).
+  KernelTimeBreakdown KernelTime(const KernelCounters& c,
+                                 double mem_derate = 1.0) const {
+    KernelTimeBreakdown t;
+    const double dram_bytes =
+        static_cast<double>(c.global_read_bytes + c.global_write_bytes);
+    t.dram_s = dram_bytes / (spec_.EffectiveBandwidthBps() * mem_derate);
+    t.l1_s = static_cast<double>(c.l1_read_bytes) /
+             (spec_.l1_bandwidth_gbps * 1e9);
+    t.shared_s =
+        static_cast<double>(c.shared_read_bytes + c.shared_write_bytes) /
+        (spec_.shared_bandwidth_gbps * 1e9);
+    t.compute_s = static_cast<double>(c.flops) / spec_.EffectiveFlopsPerSec();
+    t.atomic_s = static_cast<double>(c.atomic_ops) / (spec_.atomic_gops * 1e9);
+    t.overhead_s = spec_.kernel_launch_us * 1e-6 +
+                   static_cast<double>(c.blocks) / spec_.sm_count *
+                       spec_.block_issue_us * 1e-6;
+    // Memory, compute, and atomic pipelines overlap; the slowest one bounds
+    // throughput. L1 and shared traffic overlap DRAM traffic but both are
+    // kept in the max() so a pathologically shared-memory-bound kernel is
+    // still billed correctly.
+    t.total_s = std::max({t.dram_s + t.l1_s, t.shared_s, t.compute_s,
+                          t.atomic_s}) +
+                t.overhead_s;
+    return t;
+  }
+
+  const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace culda::gpusim

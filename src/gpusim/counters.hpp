@@ -1,0 +1,53 @@
+// Per-kernel traffic counters.
+//
+// Kernels record the bytes / flops / atomics they actually move, measured
+// from the live data structures (CSR row lengths, tree sizes, ...), not from
+// hand-typed constants. The cost model converts a KernelCounters into
+// simulated time; the Table 1 bench reads the same counters to report
+// Flops/Byte per sampling step.
+#pragma once
+
+#include <cstdint>
+
+namespace culda::gpusim {
+
+struct KernelCounters {
+  uint64_t global_read_bytes = 0;   ///< DRAM reads (uncached path)
+  uint64_t l1_read_bytes = 0;       ///< reads served by L1 (Section 6.1.2)
+  uint64_t global_write_bytes = 0;  ///< DRAM writes
+  uint64_t shared_read_bytes = 0;   ///< shared-memory reads
+  uint64_t shared_write_bytes = 0;  ///< shared-memory writes
+  uint64_t flops = 0;               ///< single-precision floating ops
+  uint64_t int_ops = 0;             ///< integer ALU ops (tracked, not billed)
+  uint64_t atomic_ops = 0;          ///< global atomic RMW operations
+  uint64_t blocks = 0;              ///< thread blocks executed
+  uint64_t warps = 0;               ///< warps executed
+
+  KernelCounters& operator+=(const KernelCounters& o) {
+    global_read_bytes += o.global_read_bytes;
+    l1_read_bytes += o.l1_read_bytes;
+    global_write_bytes += o.global_write_bytes;
+    shared_read_bytes += o.shared_read_bytes;
+    shared_write_bytes += o.shared_write_bytes;
+    flops += o.flops;
+    int_ops += o.int_ops;
+    atomic_ops += o.atomic_ops;
+    blocks += o.blocks;
+    warps += o.warps;
+    return *this;
+  }
+
+  uint64_t TotalOffChipBytes() const {
+    return global_read_bytes + l1_read_bytes + global_write_bytes;
+  }
+
+  /// The paper's roofline metric (Eq. 3): floating ops per byte of memory
+  /// traffic. Returns 0 when no memory was touched.
+  double FlopsPerByte() const {
+    const uint64_t bytes = TotalOffChipBytes();
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(flops) / static_cast<double>(bytes);
+  }
+};
+
+}  // namespace culda::gpusim

@@ -1,0 +1,94 @@
+#include "gpusim/device_spec.hpp"
+
+#include "util/check.hpp"
+
+namespace culda::gpusim {
+
+const char* ArchName(Arch arch) {
+  switch (arch) {
+    case Arch::kMaxwell: return "Maxwell";
+    case Arch::kPascal:  return "Pascal";
+    case Arch::kVolta:   return "Volta";
+    case Arch::kCpu:     return "CPU";
+  }
+  return "?";
+}
+
+DeviceSpec TitanXMaxwell() {
+  DeviceSpec s;
+  s.name = "TITAN X (Maxwell)";
+  s.arch = Arch::kMaxwell;
+  s.sm_count = 24;
+  s.peak_bandwidth_gbps = 336.0;
+  s.mem_efficiency = 0.55;       // GDDR5, modest coalescing hardware
+  s.l1_bandwidth_gbps = 1600.0;
+  s.shared_bandwidth_gbps = 4000.0;
+  s.peak_gflops = 6144.0;
+  s.atomic_gops = 2.0;           // L2-coalesced atomics (good locality)
+  s.memory_bytes = 12ull << 30;
+  return s;
+}
+
+DeviceSpec TitanXpPascal() {
+  DeviceSpec s;
+  s.name = "TITAN Xp (Pascal)";
+  s.arch = Arch::kPascal;
+  s.sm_count = 28;
+  s.peak_bandwidth_gbps = 550.0;
+  s.mem_efficiency = 0.52;       // GDDR5X runs at a lower achievable fraction
+  s.l1_bandwidth_gbps = 2200.0;
+  s.shared_bandwidth_gbps = 5600.0;
+  s.peak_gflops = 12150.0;
+  s.atomic_gops = 4.0;
+  s.memory_bytes = 12ull << 30;
+  return s;
+}
+
+DeviceSpec V100Volta() {
+  DeviceSpec s;
+  s.name = "V100 (Volta)";
+  s.arch = Arch::kVolta;
+  s.sm_count = 80;
+  s.peak_bandwidth_gbps = 900.0;
+  s.mem_efficiency = 0.83;       // HBM2 + Volta's unified L1 sustain far more
+  s.l1_bandwidth_gbps = 12000.0;
+  s.shared_bandwidth_gbps = 13800.0;
+  s.peak_gflops = 14000.0;
+  s.atomic_gops = 8.0;
+  s.memory_bytes = 16ull << 30;
+  s.shared_mem_per_block = 96 << 10;
+  return s;
+}
+
+DeviceSpec XeonCpu() {
+  DeviceSpec s;
+  s.name = "Xeon E5-2690 v4";
+  s.arch = Arch::kCpu;
+  s.sm_count = 14;               // physical cores
+  s.peak_bandwidth_gbps = 51.2;  // Section 3.1
+  s.mem_efficiency = 0.70;       // large caches help streaming access
+  s.l1_bandwidth_gbps = 1000.0;
+  s.shared_bandwidth_gbps = 1000.0;
+  s.peak_gflops = 470.0;         // Section 3.1
+  s.atomic_gops = 0.5;
+  s.memory_bytes = 64ull << 30;
+  s.kernel_launch_us = 0.5;      // a function call, not a driver launch
+  s.block_issue_us = 0.01;
+  return s;
+}
+
+DeviceSpec SpecByName(const std::string& name) {
+  if (name == "titan" || name == "maxwell") return TitanXMaxwell();
+  if (name == "pascal" || name == "titanxp") return TitanXpPascal();
+  if (name == "volta" || name == "v100") return V100Volta();
+  if (name == "cpu" || name == "xeon") return XeonCpu();
+  CULDA_CHECK_MSG(false, "unknown device spec '" << name
+                         << "' (expected titan|pascal|volta|cpu)");
+  return {};
+}
+
+LinkSpec Pcie3x16() { return {"PCIe 3.0 x16", 16.0, 10.0}; }
+LinkSpec NvLink2() { return {"NVLink 2.0", 300.0, 5.0}; }
+LinkSpec Ethernet10G() { return {"10Gb Ethernet", 1.25, 50.0}; }
+
+}  // namespace culda::gpusim

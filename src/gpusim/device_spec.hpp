@@ -1,0 +1,85 @@
+// Device descriptions for the GPU simulator.
+//
+// The paper evaluates three generations of NVIDIA GPUs (Table 2):
+//   Maxwell platform — TITAN X,   336 GB/s, 24 SMs
+//   Pascal  platform — TITAN Xp,  550 GB/s, 28 SMs (×4 for multi-GPU)
+//   Volta   platform — V100,      900 GB/s, 80 SMs (×2)
+// plus the host CPU (E5-2690 v4: 470 GFLOPS / 51.2 GB/s) used for the
+// roofline argument in Section 3. We encode each platform as data.
+//
+// The cost model (cost_model.hpp) turns measured kernel traffic into
+// simulated time; the efficiency factors below calibrate peak numbers to the
+// achievable fractions of each memory system (GDDR5 / GDDR5X / HBM2) and are
+// the only tuned values in the simulator. See EXPERIMENTS.md for the
+// calibration discussion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace culda::gpusim {
+
+/// Architectural generation; used only for reporting.
+enum class Arch { kMaxwell, kPascal, kVolta, kCpu };
+
+const char* ArchName(Arch arch);
+
+/// Static description of one simulated processor.
+struct DeviceSpec {
+  std::string name;
+  Arch arch = Arch::kMaxwell;
+
+  int sm_count = 1;              ///< streaming multiprocessors (cores for CPU)
+  double peak_bandwidth_gbps = 0;///< off-chip memory, GB/s
+  double mem_efficiency = 0.6;   ///< achievable fraction of peak bandwidth
+  double l1_bandwidth_gbps = 0;  ///< aggregate L1/texture cache bandwidth
+  double shared_bandwidth_gbps = 0;  ///< aggregate shared-memory bandwidth
+  double peak_gflops = 0;        ///< single-precision peak, GFLOP/s
+  double flop_efficiency = 0.5;  ///< achievable fraction of peak FLOPs
+  double atomic_gops = 0;        ///< global atomic throughput, Gops/s
+  uint64_t memory_bytes = 0;     ///< device memory capacity
+  uint64_t shared_mem_per_block = 48 << 10;  ///< bytes of shared memory/block
+  int max_threads_per_block = 1024;
+
+  double kernel_launch_us = 5.0; ///< fixed launch latency per kernel
+  double block_issue_us = 0.10;  ///< scheduling overhead per block per SM
+
+  /// Effective memory bandwidth after the efficiency derating, bytes/sec.
+  double EffectiveBandwidthBps() const {
+    return peak_bandwidth_gbps * 1e9 * mem_efficiency;
+  }
+  double EffectiveFlopsPerSec() const {
+    return peak_gflops * 1e9 * flop_efficiency;
+  }
+};
+
+/// Point-to-point link between processors (PCIe / NVLink / Ethernet).
+struct LinkSpec {
+  std::string name;
+  double bandwidth_gbps = 0;  ///< GB/s (bytes, not bits)
+  double latency_us = 0;      ///< per-transfer fixed latency
+
+  /// Time to move `bytes` over this link, seconds.
+  double TransferSeconds(uint64_t bytes) const {
+    return latency_us * 1e-6 +
+           static_cast<double>(bytes) / (bandwidth_gbps * 1e9);
+  }
+};
+
+/// Table 2 presets.
+DeviceSpec TitanXMaxwell();
+DeviceSpec TitanXpPascal();
+DeviceSpec V100Volta();
+/// The host CPU of the Volta platform (E5-2690 v4), used as the roofline
+/// comparison point in Section 3 and as the platform for CPU baselines.
+DeviceSpec XeonCpu();
+
+/// Looks a preset up by name ("titan", "pascal", "volta", "cpu");
+/// throws culda::Error for unknown names.
+DeviceSpec SpecByName(const std::string& name);
+
+LinkSpec Pcie3x16();
+LinkSpec NvLink2();
+LinkSpec Ethernet10G();
+
+}  // namespace culda::gpusim

@@ -1,0 +1,86 @@
+// Simulated device memory.
+//
+// A DeviceBuffer<T> is a typed allocation charged against its device's
+// memory capacity (DeviceSpec::memory_bytes). The backing store is host
+// memory — the simulator is functional — but allocation failure behaves like
+// cudaMalloc running out of device memory, which is what forces the
+// WorkSchedule2 streaming path for corpora that exceed device capacity
+// (Section 5.1 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::gpusim {
+
+class Device;
+
+/// Internal bookkeeping interface implemented by Device. Split out so that
+/// DeviceBuffer does not need Device's full definition.
+class MemoryLedger {
+ public:
+  virtual ~MemoryLedger() = default;
+  virtual void Charge(uint64_t bytes, const std::string& tag) = 0;
+  virtual void Release(uint64_t bytes) = 0;
+};
+
+/// Move-only owning handle to a simulated device allocation.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer() = default;
+
+  DeviceBuffer(MemoryLedger* ledger, size_t count, std::string tag)
+      : ledger_(ledger), tag_(std::move(tag)) {
+    ledger_->Charge(count * sizeof(T), tag_);
+    data_.resize(count);
+  }
+
+  ~DeviceBuffer() { Free(); }
+
+  DeviceBuffer(DeviceBuffer&& o) noexcept { *this = std::move(o); }
+  DeviceBuffer& operator=(DeviceBuffer&& o) noexcept {
+    if (this != &o) {
+      Free();
+      ledger_ = o.ledger_;
+      tag_ = std::move(o.tag_);
+      data_ = std::move(o.data_);
+      o.ledger_ = nullptr;
+    }
+    return *this;
+  }
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+
+  bool empty() const { return data_.empty(); }
+  size_t size() const { return data_.size(); }
+  uint64_t bytes() const { return data_.size() * sizeof(T); }
+
+  std::span<T> span() { return {data_.data(), data_.size()}; }
+  std::span<const T> span() const { return {data_.data(), data_.size()}; }
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  /// Releases the allocation early (idempotent).
+  void Free() {
+    if (ledger_ != nullptr && !data_.empty()) {
+      ledger_->Release(bytes());
+    }
+    data_.clear();
+    data_.shrink_to_fit();
+    ledger_ = nullptr;
+  }
+
+ private:
+  MemoryLedger* ledger_ = nullptr;
+  std::string tag_;
+  std::vector<T> data_;
+};
+
+}  // namespace culda::gpusim

@@ -1,0 +1,61 @@
+#include "gpusim/profiler.hpp"
+
+#include <ostream>
+
+#include "util/table.hpp"
+
+namespace culda::gpusim {
+
+void PrintProfile(const Device& device, std::ostream& out) {
+  double total_s = 0;
+  for (const auto& [name, prof] : device.profile()) total_s += prof.total_s;
+
+  out << device.spec().name << " kernel profile ("
+      << TextTable::Num(total_s * 1e3, 4) << " ms total):\n";
+  TextTable table({"kernel", "launches", "ms", "share", "DRAM MB",
+                   "atomics"});
+  for (const auto& [name, prof] : device.profile()) {
+    table.AddRow({name, std::to_string(prof.launches),
+                  TextTable::Num(prof.total_s * 1e3, 4),
+                  total_s > 0
+                      ? TextTable::Num(prof.total_s / total_s * 100, 3) + "%"
+                      : "-",
+                  TextTable::Num(
+                      prof.counters.TotalOffChipBytes() / 1e6, 4),
+                  std::to_string(prof.counters.atomic_ops)});
+  }
+  table.Print(out);
+}
+
+namespace {
+
+void EmitDeviceEvents(const Device& device, bool& first, std::ostream& out) {
+  for (const auto& rec : device.trace()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "  {\"name\": \"" << rec.name << "\", \"ph\": \"X\""
+        << ", \"pid\": " << device.id() << ", \"tid\": " << rec.stream_id
+        << ", \"ts\": " << rec.start_s * 1e6
+        << ", \"dur\": " << (rec.end_s - rec.start_s) * 1e6 << "}";
+  }
+}
+
+}  // namespace
+
+void WriteChromeTrace(const DeviceGroup& group, std::ostream& out) {
+  out << "[\n";
+  bool first = true;
+  for (size_t g = 0; g < group.size(); ++g) {
+    EmitDeviceEvents(group.device(g), first, out);
+  }
+  out << "\n]\n";
+}
+
+void WriteChromeTrace(const Device& device, std::ostream& out) {
+  out << "[\n";
+  bool first = true;
+  EmitDeviceEvents(device, first, out);
+  out << "\n]\n";
+}
+
+}  // namespace culda::gpusim

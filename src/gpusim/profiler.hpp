@@ -1,0 +1,30 @@
+// Profiling reports over a Device's kernel records.
+//
+//   PrintProfile     — per-kernel table (launches, time, traffic, share of
+//                      total), the source of the Table 5 breakdown.
+//   WriteChromeTrace — the recorded launch/transfer timeline as a Chrome
+//                      trace-event JSON (open in chrome://tracing or
+//                      Perfetto): devices are processes, streams are
+//                      threads, so WS2 pipelining and the φ-sync overlap are
+//                      visible at a glance.
+#pragma once
+
+#include <iosfwd>
+
+#include "gpusim/device.hpp"
+#include "gpusim/multi_gpu.hpp"
+
+namespace culda::gpusim {
+
+/// Prints the per-kernel aggregate profile of `device`.
+void PrintProfile(const Device& device, std::ostream& out);
+
+/// Emits the recorded traces of every device in `group` as Chrome
+/// trace-event JSON. Devices must have had set_record_trace(true); devices
+/// with no recorded events are skipped.
+void WriteChromeTrace(const DeviceGroup& group, std::ostream& out);
+
+/// Single-device convenience overload.
+void WriteChromeTrace(const Device& device, std::ostream& out);
+
+}  // namespace culda::gpusim

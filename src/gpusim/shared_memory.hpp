@@ -1,0 +1,57 @@
+// Per-block software-managed cache (CUDA "shared memory").
+//
+// A bump allocator over a fixed arena of DeviceSpec::shared_mem_per_block
+// bytes. Allocation failure is a hard error, exactly like exceeding the
+// shared-memory size in a real kernel launch — this is what makes the
+// paper's observation "the shared memory is not large enough to accommodate
+// the entire probability array" (Section 6.1.1) a checkable property: the
+// 32-ary index tree fits, the full p(k) array for large K does not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::gpusim {
+
+class SharedMemory {
+ public:
+  explicit SharedMemory(size_t capacity_bytes)
+      : capacity_(capacity_bytes), arena_(capacity_bytes) {}
+
+  /// Allocates `count` elements of T; throws culda::Error if the block's
+  /// shared memory is exhausted.
+  template <typename T>
+  std::span<T> Alloc(size_t count) {
+    // Align to the element size (shared memory banks are 4 bytes; alignof
+    // covers every type kernels allocate here).
+    const size_t align = alignof(T);
+    used_ = (used_ + align - 1) / align * align;
+    const size_t bytes = count * sizeof(T);
+    CULDA_CHECK_MSG(used_ + bytes <= capacity_,
+                    "shared memory exhausted: need " << bytes << "B at offset "
+                        << used_ << ", capacity " << capacity_ << "B");
+    T* p = reinterpret_cast<T*>(arena_.data() + used_);
+    used_ += bytes;
+    high_water_ = std::max(high_water_, used_);
+    return {p, count};
+  }
+
+  /// Frees everything (a new block starts with an empty arena).
+  void Reset() { used_ = 0; }
+
+  size_t capacity() const { return capacity_; }
+  size_t used() const { return used_; }
+  size_t high_water() const { return high_water_; }
+
+ private:
+  size_t capacity_;
+  size_t used_ = 0;
+  size_t high_water_ = 0;
+  std::vector<std::byte> arena_;
+};
+
+}  // namespace culda::gpusim

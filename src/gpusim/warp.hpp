@@ -1,0 +1,55 @@
+// Warp-level collectives, modeled lane-by-lane.
+//
+// CuLDA's kernels use one warp as one sampler and rely on register-file data
+// exchange (shuffles) for prefix sums and reductions (Section 2.2). The
+// simulator executes these collectives over a 32-element lane array, which
+// keeps kernel code structurally close to the CUDA original and lets tests
+// validate lane-exact semantics.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "gpusim/kernel.hpp"
+
+namespace culda::gpusim {
+
+template <typename T>
+using WarpLanes = std::array<T, kWarpSize>;
+
+/// Inclusive prefix sum across the lanes of one warp (Hillis–Steele, log2(32)
+/// = 5 shuffle rounds, which is what the billing reflects).
+template <typename T>
+void WarpInclusiveScan(BlockContext& ctx, WarpLanes<T>& lanes) {
+  for (uint32_t delta = 1; delta < kWarpSize; delta *= 2) {
+    WarpLanes<T> shifted = lanes;
+    for (uint32_t lane = delta; lane < kWarpSize; ++lane) {
+      lanes[lane] = shifted[lane - delta] + shifted[lane];
+    }
+  }
+  ctx.IntOps(5 * kWarpSize);
+}
+
+/// Sum-reduction across the lanes of one warp; every lane would hold the
+/// result on hardware, here it is returned.
+template <typename T>
+T WarpReduce(BlockContext& ctx, const WarpLanes<T>& lanes) {
+  T acc = T{};
+  for (const T& v : lanes) acc += v;
+  ctx.IntOps(5 * kWarpSize);
+  return acc;
+}
+
+/// Index of the first lane whose value is true, or kWarpSize if none —
+/// the simulator's __ballot_sync + __ffs idiom.
+inline uint32_t WarpFindFirst(BlockContext& ctx,
+                              const WarpLanes<bool>& lanes) {
+  ctx.IntOps(kWarpSize);
+  for (uint32_t lane = 0; lane < kWarpSize; ++lane) {
+    if (lanes[lane]) return lane;
+  }
+  return kWarpSize;
+}
+
+}  // namespace culda::gpusim

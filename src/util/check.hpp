@@ -1,0 +1,54 @@
+// Lightweight invariant checking for library code.
+//
+// CULDA_CHECK is always on (it guards API contracts and data-structure
+// invariants that, if violated, would corrupt training state); CULDA_DCHECK
+// compiles out in release builds and is used on hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace culda {
+
+/// Thrown when a CULDA_CHECK fails or an API precondition is violated.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace culda
+
+#define CULDA_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::culda::detail::CheckFailed(#cond, __FILE__, __LINE__, {});         \
+  } while (0)
+
+#define CULDA_CHECK_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream culda_check_os_;                                  \
+      culda_check_os_ << msg;                                              \
+      ::culda::detail::CheckFailed(#cond, __FILE__, __LINE__,              \
+                                   culda_check_os_.str());                 \
+    }                                                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define CULDA_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define CULDA_DCHECK(cond) CULDA_CHECK(cond)
+#endif

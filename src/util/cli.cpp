@@ -1,0 +1,89 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace culda {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    CULDA_CHECK_MSG(!arg.empty(), "bare `--` is not a valid flag");
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else if (arg.rfind("no-", 0) == 0) {
+      values_[arg.substr(3)] = "false";
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool CliFlags::Has(const std::string& name) const {
+  used_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::string CliFlags::GetString(const std::string& name,
+                                const std::string& default_value) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t CliFlags::GetInt(const std::string& name,
+                         int64_t default_value) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+  CULDA_CHECK_MSG(end && *end == '\0',
+                  "flag --" << name << " expects an integer, got '"
+                            << it->second << "'");
+  return v;
+}
+
+double CliFlags::GetDouble(const std::string& name,
+                           double default_value) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  CULDA_CHECK_MSG(end && *end == '\0',
+                  "flag --" << name << " expects a number, got '"
+                            << it->second << "'");
+  return v;
+}
+
+bool CliFlags::GetBool(const std::string& name, bool default_value) const {
+  used_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  CULDA_CHECK_MSG(false, "flag --" << name << " expects a bool, got '" << v
+                                   << "'");
+  return default_value;
+}
+
+std::vector<std::string> CliFlags::UnusedFlags() const {
+  std::vector<std::string> unused;
+  for (const auto& [name, _] : values_) {
+    if (!used_.count(name)) unused.push_back(name);
+  }
+  return unused;
+}
+
+}  // namespace culda

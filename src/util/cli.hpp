@@ -1,0 +1,40 @@
+// Tiny command-line flag parser for the examples and benchmark binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name`. Unknown flags are an error so experiment scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace culda {
+
+class CliFlags {
+ public:
+  /// Parses argv; throws culda::Error on malformed input. Positional
+  /// arguments (non `--` tokens) are collected in order.
+  CliFlags(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  int64_t GetInt(const std::string& name, int64_t default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Returns the flags that were never read by any Get*/Has call; the
+  /// benches call this after parsing to reject typos.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> used_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace culda

@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// The trainer and benchmarks log progress at Info; kernels never log on the
+// hot path. The level is process-global and settable from CLI flags.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace culda {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the process-global minimum level that is emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+void LogLine(LogLevel level, const std::string& msg);
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, os_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace culda
+
+#define CULDA_LOG(level)                                      \
+  if (::culda::LogLevel::k##level >= ::culda::GetLogLevel()) \
+  ::culda::detail::LogMessage(::culda::LogLevel::k##level)

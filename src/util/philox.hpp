@@ -1,0 +1,100 @@
+// Philox4x32-10 counter-based RNG (Salmon et al., SC'11).
+//
+// Counter-based generation is the natural fit for a SIMT simulator: every
+// (seed, iteration, token, draw) tuple maps to an independent, reproducible
+// 32-bit stream with no per-thread state to carry around. The trainer keys
+// streams by (iteration, global token index) so results are identical under
+// any chunk schedule or device count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace culda {
+
+class Philox4x32 {
+ public:
+  using Counter = std::array<uint32_t, 4>;
+  using Key = std::array<uint32_t, 2>;
+
+  /// Runs the 10-round Philox4x32 bijection on `ctr` under `key`.
+  static Counter Rounds(Counter ctr, Key key) {
+    for (int round = 0; round < 10; ++round) {
+      ctr = SingleRound(ctr, key);
+      key[0] += kWeyl0;
+      key[1] += kWeyl1;
+    }
+    return ctr;
+  }
+
+ private:
+  static constexpr uint32_t kMul0 = 0xD2511F53u;
+  static constexpr uint32_t kMul1 = 0xCD9E8D57u;
+  static constexpr uint32_t kWeyl0 = 0x9E3779B9u;
+  static constexpr uint32_t kWeyl1 = 0xBB67AE85u;
+
+  static Counter SingleRound(const Counter& ctr, const Key& key) {
+    const uint64_t p0 = static_cast<uint64_t>(kMul0) * ctr[0];
+    const uint64_t p1 = static_cast<uint64_t>(kMul1) * ctr[2];
+    return Counter{
+        static_cast<uint32_t>(p1 >> 32) ^ ctr[1] ^ key[0],
+        static_cast<uint32_t>(p1),
+        static_cast<uint32_t>(p0 >> 32) ^ ctr[3] ^ key[1],
+        static_cast<uint32_t>(p0),
+    };
+  }
+};
+
+/// A stateless-stream view over Philox: constructed from a (seed, stream)
+/// pair plus a 64-bit position, it hands out uniform values on demand.
+/// Copies are cheap; a copy continues from the same position.
+class PhiloxStream {
+ public:
+  PhiloxStream(uint64_t seed, uint64_t stream)
+      : key_{static_cast<uint32_t>(seed), static_cast<uint32_t>(seed >> 32)},
+        hi_(stream) {}
+
+  /// Next raw 32-bit value.
+  uint32_t NextU32() {
+    if (lane_ == 4) {
+      block_ = Philox4x32::Rounds(
+          {static_cast<uint32_t>(pos_), static_cast<uint32_t>(pos_ >> 32),
+           static_cast<uint32_t>(hi_), static_cast<uint32_t>(hi_ >> 32)},
+          key_);
+      ++pos_;
+      lane_ = 0;
+    }
+    return block_[lane_++];
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    // 53 random bits / 2^53.
+    const uint64_t hi = NextU32();
+    const uint64_t lo = NextU32();
+    const uint64_t bits = ((hi << 32) | lo) >> 11;
+    return static_cast<double>(bits) * 0x1.0p-53;
+  }
+
+  /// Uniform float in [0, 1).
+  float NextFloat() {
+    return static_cast<float>(NextU32() >> 8) * 0x1.0p-24f;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint32_t NextBelow(uint32_t n) {
+    // Lemire's multiply-shift rejection-free mapping is fine here: bias is
+    // at most 2^-32 per draw, far below Gibbs-sampling noise.
+    return static_cast<uint32_t>(
+        (static_cast<uint64_t>(NextU32()) * n) >> 32);
+  }
+
+ private:
+  Philox4x32::Key key_;
+  uint64_t hi_;
+  uint64_t pos_ = 0;
+  Philox4x32::Counter block_{};
+  int lane_ = 4;  // forces a refill on first use
+};
+
+}  // namespace culda

@@ -1,0 +1,58 @@
+// Prefix-sum (scan) helpers.
+//
+// The θ-update kernel compacts a dense per-document topic histogram back to
+// CSR with an exclusive scan over non-zero flags (Section 6.2 of the paper);
+// these helpers are also used by the chunk partitioner and the index tree.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "util/check.hpp"
+
+namespace culda {
+
+/// In-place inclusive prefix sum.
+template <typename T>
+void InclusiveScan(std::span<T> data) {
+  T acc = T{};
+  for (auto& v : data) {
+    acc += v;
+    v = acc;
+  }
+}
+
+/// Exclusive prefix sum of `in` into `out`; returns the grand total.
+/// `out.size()` must equal `in.size()`.
+template <typename T>
+T ExclusiveScan(std::span<const T> in, std::span<T> out) {
+  CULDA_CHECK(in.size() == out.size());
+  T acc = T{};
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc += in[i];
+  }
+  return acc;
+}
+
+/// Returns the index of the first element of the inclusive-prefix-sum array
+/// `prefix` that is strictly greater than `u` (i.e. samples a multinomial
+/// whose cumulative masses are `prefix`). `prefix` must be non-empty and
+/// non-decreasing; if `u >= prefix.back()` the last index is returned, which
+/// absorbs floating-point round-off at the top of the distribution.
+template <typename T>
+size_t UpperBoundSearch(std::span<const T> prefix, T u) {
+  CULDA_DCHECK(!prefix.empty());
+  size_t lo = 0, hi = prefix.size();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (prefix[mid] > u) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo < prefix.size() ? lo : prefix.size() - 1;
+}
+
+}  // namespace culda

@@ -1,0 +1,25 @@
+// Wall-clock stopwatch used by CPU baselines and the benchmark harness.
+// (GPU-side time comes from gpusim's simulated timeline, not from here.)
+#pragma once
+
+#include <chrono>
+
+namespace culda {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace culda

@@ -1,0 +1,64 @@
+// Plain-text table printer for the benchmark harness.
+//
+// Every bench prints the same rows/columns the paper's tables and figures
+// report; this formats them with aligned columns so the output diff-checks
+// cleanly in EXPERIMENTS.md.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row) {
+    CULDA_CHECK(row.size() == header_.size());
+    rows_.push_back(std::move(row));
+  }
+
+  /// Formats a double with `prec` significant digits for use as a cell.
+  static std::string Num(double v, int prec = 4) {
+    std::ostringstream os;
+    os << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (size_t c = 0; c < row.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      os << "| ";
+      for (size_t c = 0; c < row.size(); ++c) {
+        os << std::left << std::setw(static_cast<int>(width[c])) << row[c]
+           << " | ";
+      }
+      os << "\n";
+    };
+    print_row(header_);
+    os << "|";
+    for (size_t c = 0; c < header_.size(); ++c)
+      os << std::string(width[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace culda

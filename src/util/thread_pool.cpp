@@ -1,0 +1,84 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "util/check.hpp"
+
+namespace culda {
+
+ThreadPool::ThreadPool(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  const size_t shards = std::min(n, threads_.size());
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  auto shard = [&] {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= n) break;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mutex);
+      ++done;
+    }
+    done_cv.notify_one();
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t s = 0; s < shards; ++s) tasks_.push(shard);
+  }
+  cv_.notify_all();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return done == shards; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace culda

@@ -1,0 +1,49 @@
+// A small fixed-size thread pool with a parallel-for front end.
+//
+// gpusim uses it to execute the thread blocks of a kernel launch; on a
+// single-core host it degrades to sequential execution (the pool runs the
+// caller inline when it has zero workers). Determinism note: block order is
+// irrelevant to correctness in all CuLDA kernels (the paper's kernels only
+// communicate between blocks via atomics), so running blocks in any
+// interleaving yields the same model state given that the reductions used
+// are integer (exact) — float accumulation happens privately per warp.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace culda {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `workers` threads. `workers == 0` means "run
+  /// everything inline on the caller" — the right default on 1-core hosts.
+  explicit ThreadPool(size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t worker_count() const { return threads_.size(); }
+
+  /// Runs fn(i) for i in [0, n), partitioned into contiguous ranges across
+  /// the workers; blocks until all complete. Exceptions from `fn` are
+  /// rethrown on the caller (first one wins).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+}  // namespace culda

@@ -1,0 +1,147 @@
+// Tests for training checkpoints: bit-exact resume, topology-independent
+// restore, and corruption rejection.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trainer.hpp"
+#include "corpus/synthetic.hpp"
+
+namespace culda::core {
+namespace {
+
+corpus::Corpus TestCorpus(uint64_t seed = 42) {
+  corpus::SyntheticProfile p;
+  p.num_docs = 300;
+  p.vocab_size = 400;
+  p.avg_doc_length = 40;
+  p.seed = seed;
+  return corpus::GenerateCorpus(p);
+}
+
+CuldaConfig TestConfig() {
+  CuldaConfig cfg;
+  cfg.num_topics = 24;
+  return cfg;
+}
+
+std::vector<uint16_t> PhiFingerprint(const CuldaTrainer& trainer) {
+  const auto m = trainer.Gather();
+  return {m.phi.flat().begin(), m.phi.flat().end()};
+}
+
+TEST(Checkpoint, ResumeContinuesBitExactly) {
+  const auto c = TestCorpus();
+
+  // Reference: 6 uninterrupted iterations.
+  CuldaTrainer reference(c, TestConfig(), {});
+  reference.Train(6);
+
+  // Interrupted: 3 iterations, checkpoint, fresh trainer, restore, 3 more.
+  CuldaTrainer first(c, TestConfig(), {});
+  first.Train(3);
+  std::stringstream ckpt(std::ios::binary | std::ios::in | std::ios::out);
+  first.SaveCheckpoint(ckpt);
+
+  CuldaTrainer resumed(c, TestConfig(), {});
+  resumed.RestoreCheckpoint(ckpt);
+  EXPECT_EQ(resumed.iteration(), 3u);
+  resumed.Train(3);
+
+  EXPECT_EQ(PhiFingerprint(resumed), PhiFingerprint(reference));
+  EXPECT_DOUBLE_EQ(resumed.LogLikelihoodPerToken(),
+                   reference.LogLikelihoodPerToken());
+}
+
+TEST(Checkpoint, RestoreAcrossDifferentGpuCount) {
+  const auto c = TestCorpus();
+  CuldaTrainer one(c, TestConfig(), {});
+  one.Train(2);
+  std::stringstream ckpt(std::ios::binary | std::ios::in | std::ios::out);
+  one.SaveCheckpoint(ckpt);
+
+  TrainerOptions four;
+  four.gpus.assign(4, gpusim::TitanXpPascal());
+  CuldaTrainer wide(c, TestConfig(), four);
+  wide.RestoreCheckpoint(ckpt);
+  wide.Train(2);
+
+  CuldaTrainer reference(c, TestConfig(), {});
+  reference.Train(4);
+  EXPECT_EQ(PhiFingerprint(wide), PhiFingerprint(reference));
+}
+
+TEST(Checkpoint, RestoreAcrossDifferentChunking) {
+  const auto c = TestCorpus();
+  TrainerOptions m3;
+  m3.chunks_per_gpu = 3;
+  CuldaTrainer chunked(c, TestConfig(), m3);
+  chunked.Train(2);
+  std::stringstream ckpt(std::ios::binary | std::ios::in | std::ios::out);
+  chunked.SaveCheckpoint(ckpt);
+
+  CuldaTrainer plain(c, TestConfig(), {});
+  plain.RestoreCheckpoint(ckpt);
+  plain.Train(1);
+
+  CuldaTrainer reference(c, TestConfig(), m3);
+  reference.Train(3);
+  EXPECT_EQ(PhiFingerprint(plain), PhiFingerprint(reference));
+}
+
+TEST(Checkpoint, RestoredModelSatisfiesInvariants) {
+  const auto c = TestCorpus();
+  CuldaTrainer a(c, TestConfig(), {});
+  a.Train(2);
+  std::stringstream ckpt(std::ios::binary | std::ios::in | std::ios::out);
+  a.SaveCheckpoint(ckpt);
+  CuldaTrainer b(c, TestConfig(), {});
+  b.RestoreCheckpoint(ckpt);
+  b.Gather().Validate(c);
+}
+
+TEST(Checkpoint, RejectsWrongCorpus) {
+  const auto c1 = TestCorpus(1);
+  const auto c2 = TestCorpus(2);
+  CuldaTrainer a(c1, TestConfig(), {});
+  std::stringstream ckpt(std::ios::binary | std::ios::in | std::ios::out);
+  a.SaveCheckpoint(ckpt);
+  CuldaTrainer b(c2, TestConfig(), {});
+  EXPECT_THROW(b.RestoreCheckpoint(ckpt), Error);
+}
+
+TEST(Checkpoint, RejectsWrongConfig) {
+  const auto c = TestCorpus();
+  CuldaTrainer a(c, TestConfig(), {});
+  std::stringstream ckpt(std::ios::binary | std::ios::in | std::ios::out);
+  a.SaveCheckpoint(ckpt);
+  CuldaConfig other = TestConfig();
+  other.num_topics = 32;
+  CuldaTrainer b(c, other, {});
+  EXPECT_THROW(b.RestoreCheckpoint(ckpt), Error);
+}
+
+TEST(Checkpoint, RejectsGarbageAndTruncation) {
+  const auto c = TestCorpus();
+  CuldaTrainer a(c, TestConfig(), {});
+  a.Train(1);
+  std::ostringstream out(std::ios::binary);
+  a.SaveCheckpoint(out);
+  const std::string bytes = out.str();
+
+  {
+    std::istringstream garbage("not a checkpoint at all", std::ios::binary);
+    CuldaTrainer b(c, TestConfig(), {});
+    EXPECT_THROW(b.RestoreCheckpoint(garbage), Error);
+  }
+  for (const double frac : {0.2, 0.8}) {
+    std::istringstream truncated(
+        bytes.substr(0, static_cast<size_t>(bytes.size() * frac)),
+        std::ios::binary);
+    CuldaTrainer b(c, TestConfig(), {});
+    EXPECT_THROW(b.RestoreCheckpoint(truncated), Error) << frac;
+  }
+}
+
+}  // namespace
+}  // namespace culda::core

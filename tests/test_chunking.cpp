@@ -1,0 +1,122 @@
+// Tests for the token-balanced partition-by-document chunker (Section 5.1).
+#include <gtest/gtest.h>
+
+#include "corpus/chunking.hpp"
+#include "corpus/synthetic.hpp"
+
+namespace culda::corpus {
+namespace {
+
+Corpus MediumCorpus() {
+  SyntheticProfile p;
+  p.num_docs = 700;
+  p.vocab_size = 500;
+  p.avg_doc_length = 60;
+  p.doc_length_sigma = 0.9;  // wide spread stresses the balancing
+  return GenerateCorpus(p);
+}
+
+/// Structural invariants every partition must satisfy, for any chunk count.
+void CheckPartition(const Corpus& c, const std::vector<ChunkSpec>& chunks,
+                    uint32_t expected_count) {
+  ASSERT_EQ(chunks.size(), expected_count);
+  EXPECT_EQ(chunks.front().doc_begin, 0u);
+  EXPECT_EQ(chunks.back().doc_end, c.num_docs());
+  uint64_t tokens = 0;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].id, i);
+    EXPECT_LE(chunks[i].doc_begin, chunks[i].doc_end);
+    EXPECT_EQ(chunks[i].token_begin, c.doc_offsets()[chunks[i].doc_begin]);
+    EXPECT_EQ(chunks[i].token_end, c.doc_offsets()[chunks[i].doc_end]);
+    if (i > 0) {
+      EXPECT_EQ(chunks[i].doc_begin, chunks[i - 1].doc_end);
+    }
+    tokens += chunks[i].num_tokens();
+  }
+  EXPECT_EQ(tokens, c.num_tokens());
+}
+
+class PartitionInvariants : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PartitionInvariants, CoverAndChain) {
+  const Corpus c = MediumCorpus();
+  const auto chunks = PartitionByTokens(c, GetParam());
+  CheckPartition(c, chunks, GetParam());
+}
+
+TEST_P(PartitionInvariants, BalancedWithinOneDocument) {
+  const Corpus c = MediumCorpus();
+  const auto chunks = PartitionByTokens(c, GetParam());
+  // Each boundary is off the ideal by at most the straddling document, so
+  // the imbalance is bounded by 2×max_doc/ideal.
+  const double ideal =
+      static_cast<double>(c.num_tokens()) / GetParam();
+  EXPECT_LE(LoadImbalance(chunks),
+            2.0 * static_cast<double>(c.MaxDocLength()) / ideal + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkCounts, PartitionInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 32,
+                                           64));
+
+TEST(Partition, SingleChunkIsWholeCorpus) {
+  const Corpus c = MediumCorpus();
+  const auto chunks = PartitionByTokens(c, 1);
+  EXPECT_EQ(chunks[0].num_tokens(), c.num_tokens());
+  EXPECT_EQ(chunks[0].num_docs(), c.num_docs());
+}
+
+TEST(Partition, FourChunksNearlyEven) {
+  const Corpus c = MediumCorpus();
+  const auto chunks = PartitionByTokens(c, 4);
+  // Documents average ~60 tokens out of ~10k per chunk: imbalance tiny.
+  EXPECT_LT(LoadImbalance(chunks), 0.05);
+}
+
+TEST(Partition, BalancesByTokensNotDocuments) {
+  // First half of docs is 10× longer than second half; an equal-doc split
+  // would be 10:1 off, a token split must not be.
+  std::vector<uint64_t> offsets{0};
+  std::vector<uint32_t> words;
+  for (int d = 0; d < 100; ++d) {
+    const int len = d < 50 ? 100 : 10;
+    for (int t = 0; t < len; ++t) words.push_back(0);
+    offsets.push_back(words.size());
+  }
+  const Corpus c(1, std::move(offsets), std::move(words));
+  const auto chunks = PartitionByTokens(c, 2);
+  EXPECT_LT(LoadImbalance(chunks), 0.05);
+  // The doc boundary lands inside the long half.
+  EXPECT_LT(chunks[0].doc_end, 50u);
+}
+
+TEST(Partition, MoreChunksThanDocs) {
+  const Corpus c(2, {0, 2, 4}, {0, 1, 0, 1});
+  const auto chunks = PartitionByTokens(c, 5);
+  CheckPartition(c, chunks, 5);  // some chunks will be empty — still valid
+}
+
+TEST(Partition, HugeDocumentGoesToOneChunk) {
+  // One document holds 90% of tokens.
+  std::vector<uint64_t> offsets{0, 900};
+  std::vector<uint32_t> words(900, 0);
+  for (int d = 0; d < 10; ++d) {
+    for (int t = 0; t < 10; ++t) words.push_back(0);
+    offsets.push_back(words.size());
+  }
+  const Corpus c(1, std::move(offsets), std::move(words));
+  const auto chunks = PartitionByTokens(c, 4);
+  CheckPartition(c, chunks, 4);
+  EXPECT_EQ(chunks[0].doc_begin, 0u);
+  EXPECT_GE(chunks[0].num_tokens(), 900u);
+}
+
+TEST(Partition, LoadImbalanceOfPerfectSplitIsZero) {
+  std::vector<ChunkSpec> chunks(2);
+  chunks[0] = {0, 0, 1, 0, 50};
+  chunks[1] = {1, 1, 2, 50, 100};
+  EXPECT_DOUBLE_EQ(LoadImbalance(chunks), 0.0);
+}
+
+}  // namespace
+}  // namespace culda::corpus

@@ -1,0 +1,98 @@
+// Cross-solver convergence agreement: every sampler family in the repo —
+// CuLDA's delayed-update GPU Gibbs, exact sequential CGS, SparseLDA, F+LDA,
+// and the MH sampler — optimizes the same posterior, so after enough sweeps
+// on the same corpus they must land at comparable joint log-likelihoods.
+// This is the strongest end-to-end check that the reproduction implements
+// the *model* correctly, not just something that goes uphill.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu_cgs.hpp"
+#include "baselines/fplus_lda.hpp"
+#include "baselines/gpu_dense.hpp"
+#include "baselines/sparse_lda.hpp"
+#include "baselines/warp_mh.hpp"
+#include "core/trainer.hpp"
+#include "corpus/synthetic.hpp"
+
+namespace culda {
+namespace {
+
+struct Workload {
+  corpus::Corpus corpus;
+  core::CuldaConfig cfg;
+};
+
+Workload MakeSetup() {
+  corpus::SyntheticProfile p;
+  p.num_docs = 300;
+  p.vocab_size = 300;
+  p.avg_doc_length = 35;
+  Workload s{corpus::GenerateCorpus(p), {}};
+  s.cfg.num_topics = 20;
+  return s;
+}
+
+constexpr int kIters = 75;
+constexpr double kTolerance = 0.15;  // ll/token units (delayed-update
+                                     // samplers lag early, then converge)
+
+double ExactCgsFinalLl(const Workload& s) {
+  baselines::CpuCgs gold(s.corpus, s.cfg);
+  for (int i = 0; i < kIters; ++i) gold.Step();
+  return gold.LogLikelihoodPerToken();
+}
+
+TEST(Convergence, CuldaMatchesExactCgs) {
+  const Workload s = MakeSetup();
+  const double gold = ExactCgsFinalLl(s);
+  core::CuldaTrainer trainer(s.corpus, s.cfg, {});
+  trainer.Train(kIters);
+  EXPECT_NEAR(trainer.LogLikelihoodPerToken(), gold, kTolerance);
+}
+
+TEST(Convergence, SparseLdaMatchesExactCgs) {
+  const Workload s = MakeSetup();
+  const double gold = ExactCgsFinalLl(s);
+  baselines::SparseLdaCgs solver(s.corpus, s.cfg);
+  for (int i = 0; i < kIters; ++i) solver.Step();
+  EXPECT_NEAR(solver.LogLikelihoodPerToken(), gold, kTolerance);
+}
+
+TEST(Convergence, FPlusLdaMatchesExactCgs) {
+  const Workload s = MakeSetup();
+  const double gold = ExactCgsFinalLl(s);
+  baselines::FPlusLda solver(s.corpus, s.cfg);
+  for (int i = 0; i < kIters; ++i) solver.Step();
+  EXPECT_NEAR(solver.LogLikelihoodPerToken(), gold, kTolerance);
+}
+
+TEST(Convergence, WarpMhApproachesExactCgs) {
+  // MH with cheap proposals mixes slower; allow a looser band, and extra
+  // proposal cycles per token.
+  const Workload s = MakeSetup();
+  const double gold = ExactCgsFinalLl(s);
+  baselines::WarpMhSampler solver(s.corpus, s.cfg, /*mh_cycles=*/2);
+  for (int i = 0; i < 2 * kIters; ++i) solver.Step();
+  EXPECT_NEAR(solver.LogLikelihoodPerToken(), gold, 2.5 * kTolerance);
+}
+
+TEST(Convergence, GpuDenseMatchesExactCgs) {
+  const Workload s = MakeSetup();
+  const double gold = ExactCgsFinalLl(s);
+  baselines::GpuDenseLda solver(s.corpus, s.cfg, gpusim::TitanXMaxwell());
+  for (int i = 0; i < kIters; ++i) solver.Step();
+  EXPECT_NEAR(solver.LogLikelihoodPerToken(), gold, kTolerance);
+}
+
+TEST(Convergence, MultiGpuCuldaMatchesExactCgs) {
+  const Workload s = MakeSetup();
+  const double gold = ExactCgsFinalLl(s);
+  core::TrainerOptions opts;
+  opts.gpus.assign(4, gpusim::TitanXpPascal());
+  core::CuldaTrainer trainer(s.corpus, s.cfg, opts);
+  trainer.Train(kIters);
+  EXPECT_NEAR(trainer.LogLikelihoodPerToken(), gold, kTolerance);
+}
+
+}  // namespace
+}  // namespace culda

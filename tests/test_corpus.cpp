@@ -1,0 +1,226 @@
+// Unit tests for corpus storage, the synthetic generator, and UCI I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corpus/corpus.hpp"
+#include "corpus/synthetic.hpp"
+#include "corpus/uci_reader.hpp"
+#include "util/check.hpp"
+
+namespace culda::corpus {
+namespace {
+
+Corpus Tiny() {
+  // doc0 = [w0 w1 w1], doc1 = [w2], doc2 = []
+  return Corpus(3, {0, 3, 4, 4}, {0, 1, 1, 2});
+}
+
+TEST(Corpus, BasicAccessors) {
+  const Corpus c = Tiny();
+  EXPECT_EQ(c.num_docs(), 3u);
+  EXPECT_EQ(c.num_tokens(), 4u);
+  EXPECT_EQ(c.DocLength(0), 3u);
+  EXPECT_EQ(c.DocLength(2), 0u);
+  EXPECT_EQ(c.DocTokens(0)[1], 1u);
+  EXPECT_EQ(c.MaxDocLength(), 3u);
+  EXPECT_NEAR(c.AvgDocLength(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(Corpus, WordFrequencies) {
+  const auto freq = Tiny().WordFrequencies();
+  EXPECT_EQ(freq, (std::vector<uint64_t>{1, 2, 1}));
+}
+
+TEST(Corpus, ValidateRejectsBadOffsets) {
+  EXPECT_THROW(Corpus(3, {0, 2, 1, 4}, {0, 1, 1, 2}), Error);
+  EXPECT_THROW(Corpus(3, {0, 3, 4, 5}, {0, 1, 1, 2}), Error);
+  EXPECT_THROW(Corpus(3, {1, 3, 4, 4}, {0, 1, 1, 2}), Error);
+}
+
+TEST(Corpus, ValidateRejectsOutOfRangeWord) {
+  EXPECT_THROW(Corpus(2, {0, 1}, {5}), Error);
+}
+
+TEST(Corpus, SummaryMentionsCounts) {
+  const std::string s = Tiny().Summary("tiny");
+  EXPECT_NE(s.find("#Tokens=4"), std::string::npos);
+  EXPECT_NE(s.find("#Documents=3"), std::string::npos);
+}
+
+// ------------------------------------------------------------- synthetic --
+
+TEST(Synthetic, DeterministicInSeed) {
+  SyntheticProfile p;
+  p.num_docs = 50;
+  p.vocab_size = 200;
+  const Corpus a = GenerateCorpus(p);
+  const Corpus b = GenerateCorpus(p);
+  EXPECT_EQ(a.num_tokens(), b.num_tokens());
+  EXPECT_TRUE(std::equal(a.words().begin(), a.words().end(),
+                         b.words().begin()));
+}
+
+TEST(Synthetic, SeedChangesCorpus) {
+  SyntheticProfile p;
+  p.num_docs = 50;
+  p.vocab_size = 200;
+  const Corpus a = GenerateCorpus(p);
+  p.seed += 1;
+  const Corpus b = GenerateCorpus(p);
+  EXPECT_FALSE(a.num_tokens() == b.num_tokens() &&
+               std::equal(a.words().begin(), a.words().end(),
+                          b.words().begin()));
+}
+
+TEST(Synthetic, RespectsDocAndVocabCounts) {
+  SyntheticProfile p;
+  p.num_docs = 123;
+  p.vocab_size = 456;
+  const Corpus c = GenerateCorpus(p);
+  c.Validate();
+  EXPECT_EQ(c.num_docs(), 123u);
+  EXPECT_EQ(c.vocab_size(), 456u);
+}
+
+TEST(Synthetic, AverageLengthNearProfile) {
+  SyntheticProfile p;
+  p.num_docs = 2000;
+  p.vocab_size = 500;
+  p.avg_doc_length = 100;
+  const Corpus c = GenerateCorpus(p);
+  EXPECT_NEAR(c.AvgDocLength(), 100.0, 15.0);
+}
+
+TEST(Synthetic, MinDocLengthEnforced) {
+  SyntheticProfile p;
+  p.num_docs = 500;
+  p.vocab_size = 100;
+  p.avg_doc_length = 6;
+  p.min_doc_length = 4;
+  const Corpus c = GenerateCorpus(p);
+  for (size_t d = 0; d < c.num_docs(); ++d) {
+    EXPECT_GE(c.DocLength(d), 4u);
+  }
+}
+
+TEST(Synthetic, WordFrequenciesAreSkewed) {
+  // The Zipfian base measure must produce a heavy head: the most frequent
+  // word should dwarf the median (this drives Figure 6's heavy-word split).
+  SyntheticProfile p;
+  p.num_docs = 1000;
+  p.vocab_size = 2000;
+  p.avg_doc_length = 80;
+  const Corpus c = GenerateCorpus(p);
+  auto freq = c.WordFrequencies();
+  std::sort(freq.begin(), freq.end());
+  const uint64_t top = freq.back();
+  const uint64_t median = freq[freq.size() / 2];
+  EXPECT_GT(top, 20 * std::max<uint64_t>(median, 1));
+}
+
+TEST(Synthetic, NyTimesProfileShape) {
+  const SyntheticProfile p = NyTimesProfile(0.01);
+  EXPECT_NEAR(p.avg_doc_length, 332, 1);
+  EXPECT_EQ(p.num_docs, static_cast<uint64_t>(299752 * 0.01));
+  const SyntheticProfile full = NyTimesProfile(1.0);
+  EXPECT_EQ(full.num_docs, 299752u);
+  EXPECT_EQ(full.vocab_size, 101636u);
+}
+
+TEST(Synthetic, PubMedProfileShape) {
+  const SyntheticProfile p = PubMedProfile(0.001);
+  EXPECT_NEAR(p.avg_doc_length, 90, 3);
+  const SyntheticProfile full = PubMedProfile(1.0);
+  EXPECT_EQ(full.num_docs, 8200000u);
+  EXPECT_EQ(full.vocab_size, 141043u);
+}
+
+TEST(Synthetic, PubMedDocsShorterThanNyTimes) {
+  // Table 3's contrast (332 vs 92 avg tokens) drives the Figure 7 variance
+  // difference; the generator must preserve it.
+  Corpus ny = GenerateCorpus([] {
+    auto p = NyTimesProfile(0.002);
+    p.num_docs = 300;
+    p.vocab_size = 1000;
+    return p;
+  }());
+  Corpus pm = GenerateCorpus([] {
+    auto p = PubMedProfile(0.0001);
+    p.num_docs = 300;
+    p.vocab_size = 1000;
+    return p;
+  }());
+  EXPECT_GT(ny.AvgDocLength(), 2.5 * pm.AvgDocLength());
+}
+
+TEST(Synthetic, InvalidScaleRejected) {
+  EXPECT_THROW(NyTimesProfile(0.0), Error);
+  EXPECT_THROW(NyTimesProfile(1.5), Error);
+}
+
+// ------------------------------------------------------------------- UCI --
+
+TEST(Uci, ParsesWellFormedInput) {
+  std::istringstream in("2\n3\n3\n1 1 2\n1 3 1\n2 2 4\n");
+  const Corpus c = ReadUciBagOfWords(in);
+  EXPECT_EQ(c.num_docs(), 2u);
+  EXPECT_EQ(c.vocab_size(), 3u);
+  EXPECT_EQ(c.num_tokens(), 7u);
+  EXPECT_EQ(c.DocLength(0), 3u);  // 2×w0 + 1×w2
+  EXPECT_EQ(c.DocLength(1), 4u);  // 4×w1
+}
+
+TEST(Uci, RoundTripsThroughWriter) {
+  SyntheticProfile p;
+  p.num_docs = 40;
+  p.vocab_size = 100;
+  p.avg_doc_length = 30;
+  const Corpus original = GenerateCorpus(p);
+
+  std::stringstream buf;
+  WriteUciBagOfWords(original, buf);
+  const Corpus parsed = ReadUciBagOfWords(buf);
+
+  ASSERT_EQ(parsed.num_docs(), original.num_docs());
+  ASSERT_EQ(parsed.num_tokens(), original.num_tokens());
+  // Token multisets per document must match (order inside a doc may differ).
+  for (size_t d = 0; d < original.num_docs(); ++d) {
+    auto a = std::vector<uint32_t>(original.DocTokens(d).begin(),
+                                   original.DocTokens(d).end());
+    auto b = std::vector<uint32_t>(parsed.DocTokens(d).begin(),
+                                   parsed.DocTokens(d).end());
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "doc " << d;
+  }
+}
+
+TEST(Uci, RejectsMalformedHeader) {
+  std::istringstream in("not a number\n");
+  EXPECT_THROW(ReadUciBagOfWords(in), Error);
+}
+
+TEST(Uci, RejectsOutOfRangeIds) {
+  std::istringstream doc_oob("1\n2\n1\n2 1 1\n");
+  EXPECT_THROW(ReadUciBagOfWords(doc_oob), Error);
+  std::istringstream word_oob("1\n2\n1\n1 3 1\n");
+  EXPECT_THROW(ReadUciBagOfWords(word_oob), Error);
+}
+
+TEST(Uci, RejectsTruncatedEntries) {
+  std::istringstream in("1\n2\n2\n1 1 1\n");
+  EXPECT_THROW(ReadUciBagOfWords(in), Error);
+}
+
+TEST(Uci, RejectsZeroCount) {
+  std::istringstream in("1\n2\n1\n1 1 0\n");
+  EXPECT_THROW(ReadUciBagOfWords(in), Error);
+}
+
+TEST(Uci, MissingFileThrows) {
+  EXPECT_THROW(ReadUciBagOfWordsFile("/nonexistent/path.txt"), Error);
+}
+
+}  // namespace
+}  // namespace culda::corpus

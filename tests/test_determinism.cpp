@@ -1,0 +1,123 @@
+// Cross-schedule determinism: because every random draw is keyed by
+// (seed, iteration, global token index), the trained model must be bit-
+// identical no matter how the corpus is partitioned — 1 GPU or 4, WS1 or
+// WS2, tree or CPU sync. This is the property that makes the multi-GPU
+// results of Figure 9 directly comparable to the single-GPU runs.
+#include <gtest/gtest.h>
+
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "corpus/synthetic.hpp"
+
+namespace culda::core {
+namespace {
+
+corpus::Corpus TestCorpus() {
+  corpus::SyntheticProfile p;
+  p.num_docs = 350;
+  p.vocab_size = 500;
+  p.avg_doc_length = 45;
+  return corpus::GenerateCorpus(p);
+}
+
+CuldaConfig TestConfig() {
+  CuldaConfig cfg;
+  cfg.num_topics = 32;
+  return cfg;
+}
+
+/// Fingerprint of the trained model: full θ structure plus φ.
+std::vector<uint64_t> Fingerprint(const GatheredModel& m) {
+  std::vector<uint64_t> fp;
+  fp.push_back(m.theta.nnz());
+  for (size_t i = 0; i < m.theta.nnz(); ++i) {
+    fp.push_back((static_cast<uint64_t>(m.theta.col_idx()[i]) << 32) |
+                 static_cast<uint32_t>(m.theta.values()[i]));
+  }
+  for (const uint16_t c : m.phi.flat()) fp.push_back(c);
+  return fp;
+}
+
+std::vector<uint64_t> TrainAndFingerprint(const corpus::Corpus& c,
+                                          TrainerOptions opts,
+                                          uint32_t iters = 4) {
+  CuldaTrainer trainer(c, TestConfig(), std::move(opts));
+  trainer.Train(iters);
+  return Fingerprint(trainer.Gather());
+}
+
+TEST(Determinism, RepeatedRunsIdentical) {
+  const auto c = TestCorpus();
+  EXPECT_EQ(TrainAndFingerprint(c, {}), TrainAndFingerprint(c, {}));
+}
+
+TEST(Determinism, IndependentOfGpuCount) {
+  const auto c = TestCorpus();
+  TrainerOptions g1, g2, g4;
+  g1.gpus.assign(1, gpusim::TitanXpPascal());
+  g2.gpus.assign(2, gpusim::TitanXpPascal());
+  g4.gpus.assign(4, gpusim::TitanXpPascal());
+  const auto fp1 = TrainAndFingerprint(c, g1);
+  EXPECT_EQ(fp1, TrainAndFingerprint(c, g2));
+  EXPECT_EQ(fp1, TrainAndFingerprint(c, g4));
+}
+
+TEST(Determinism, IndependentOfChunksPerGpu) {
+  const auto c = TestCorpus();
+  TrainerOptions m1, m3;
+  m1.chunks_per_gpu = 1;
+  m3.chunks_per_gpu = 3;
+  EXPECT_EQ(TrainAndFingerprint(c, m1), TrainAndFingerprint(c, m3));
+}
+
+TEST(Determinism, IndependentOfSyncMode) {
+  const auto c = TestCorpus();
+  TrainerOptions tree, cpu;
+  tree.gpus.assign(3, gpusim::TitanXpPascal());
+  cpu.gpus.assign(3, gpusim::TitanXpPascal());
+  tree.sync_mode = SyncMode::kGpuTree;
+  cpu.sync_mode = SyncMode::kCpuSum;
+  EXPECT_EQ(TrainAndFingerprint(c, tree), TrainAndFingerprint(c, cpu));
+}
+
+TEST(Determinism, IndependentOfDeviceArchitecture) {
+  // The cost model changes times, never results.
+  const auto c = TestCorpus();
+  TrainerOptions titan, volta;
+  titan.gpus = {gpusim::TitanXMaxwell()};
+  volta.gpus = {gpusim::V100Volta()};
+  EXPECT_EQ(TrainAndFingerprint(c, titan), TrainAndFingerprint(c, volta));
+}
+
+TEST(Determinism, IndependentOfOverlapSettings) {
+  const auto c = TestCorpus();
+  TrainerOptions on, off;
+  on.chunks_per_gpu = 2;
+  off.chunks_per_gpu = 2;
+  off.overlap_transfers = false;
+  off.overlap_theta_with_sync = false;
+  EXPECT_EQ(TrainAndFingerprint(c, on), TrainAndFingerprint(c, off));
+}
+
+TEST(Determinism, SeedChangesResults) {
+  const auto c = TestCorpus();
+  CuldaConfig cfg_a = TestConfig();
+  CuldaConfig cfg_b = TestConfig();
+  cfg_b.seed += 1;
+  CuldaTrainer a(c, cfg_a, {});
+  CuldaTrainer b(c, cfg_b, {});
+  a.Train(3);
+  b.Train(3);
+  EXPECT_NE(Fingerprint(a.Gather()), Fingerprint(b.Gather()));
+}
+
+TEST(Determinism, WorkerPoolDoesNotChangeResults) {
+  const auto c = TestCorpus();
+  ThreadPool pool(3);
+  TrainerOptions seq, par;
+  par.pool = &pool;
+  EXPECT_EQ(TrainAndFingerprint(c, seq), TrainAndFingerprint(c, par));
+}
+
+}  // namespace
+}  // namespace culda::core

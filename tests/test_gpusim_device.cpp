@@ -1,0 +1,433 @@
+// Unit tests for the single-device simulator: memory ledger, shared memory,
+// launch mechanics, counters, cost model, streams and transfers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "gpusim/cost_model.hpp"
+#include "gpusim/device.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/shared_memory.hpp"
+#include "gpusim/warp.hpp"
+#include "util/check.hpp"
+
+namespace culda::gpusim {
+namespace {
+
+DeviceSpec TinySpec() {
+  DeviceSpec s = TitanXMaxwell();
+  s.memory_bytes = 1 << 20;  // 1 MiB, to make OOM easy to hit
+  return s;
+}
+
+// ----------------------------------------------------------------- specs --
+
+TEST(DeviceSpec, PresetsMatchTable2) {
+  EXPECT_DOUBLE_EQ(TitanXMaxwell().peak_bandwidth_gbps, 336.0);
+  EXPECT_DOUBLE_EQ(TitanXpPascal().peak_bandwidth_gbps, 550.0);
+  EXPECT_DOUBLE_EQ(V100Volta().peak_bandwidth_gbps, 900.0);
+  EXPECT_EQ(TitanXMaxwell().sm_count, 24);
+  EXPECT_EQ(V100Volta().sm_count, 80);
+}
+
+TEST(DeviceSpec, XeonMatchesSection3) {
+  const DeviceSpec cpu = XeonCpu();
+  EXPECT_DOUBLE_EQ(cpu.peak_gflops, 470.0);
+  EXPECT_DOUBLE_EQ(cpu.peak_bandwidth_gbps, 51.2);
+}
+
+TEST(DeviceSpec, LookupByName) {
+  EXPECT_EQ(SpecByName("titan").arch, Arch::kMaxwell);
+  EXPECT_EQ(SpecByName("pascal").arch, Arch::kPascal);
+  EXPECT_EQ(SpecByName("volta").arch, Arch::kVolta);
+  EXPECT_EQ(SpecByName("cpu").arch, Arch::kCpu);
+  EXPECT_THROW(SpecByName("tpu"), Error);
+}
+
+TEST(DeviceSpec, EffectiveBandwidthOrdering) {
+  // The Figure 7 cross-architecture ordering must hold in the model.
+  EXPECT_LT(TitanXMaxwell().EffectiveBandwidthBps(),
+            TitanXpPascal().EffectiveBandwidthBps());
+  EXPECT_LT(TitanXpPascal().EffectiveBandwidthBps(),
+            V100Volta().EffectiveBandwidthBps());
+  EXPECT_LT(XeonCpu().EffectiveBandwidthBps(),
+            TitanXMaxwell().EffectiveBandwidthBps());
+}
+
+TEST(LinkSpec, TransferTimeIsLatencyPlusBandwidth) {
+  const LinkSpec pcie = Pcie3x16();
+  const double t = pcie.TransferSeconds(16ull << 30);
+  EXPECT_NEAR(t, 1.0 + 10e-6, 0.1);  // 16 GiB over 16 GB/s ≈ 1 s
+  EXPECT_NEAR(pcie.TransferSeconds(0), 10e-6, 1e-9);
+}
+
+TEST(LinkSpec, EthernetIsMuchSlowerThanPcie) {
+  const uint64_t bytes = 100 << 20;
+  EXPECT_GT(Ethernet10G().TransferSeconds(bytes),
+            10 * Pcie3x16().TransferSeconds(bytes));
+}
+
+// ---------------------------------------------------------------- memory --
+
+TEST(DeviceMemory, ChargesAndReleases) {
+  Device dev(TinySpec(), 0);
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  {
+    auto buf = dev.Alloc<uint32_t>(1000, "test");
+    EXPECT_EQ(dev.allocated_bytes(), 4000u);
+    EXPECT_EQ(buf.size(), 1000u);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(DeviceMemory, OutOfMemoryThrows) {
+  Device dev(TinySpec(), 0);
+  EXPECT_THROW(dev.Alloc<uint8_t>(2 << 20, "too big"), Error);
+}
+
+TEST(DeviceMemory, OomMessageNamesTheTag) {
+  Device dev(TinySpec(), 0);
+  try {
+    dev.Alloc<uint8_t>(2 << 20, "phi_replica");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("phi_replica"), std::string::npos);
+  }
+}
+
+TEST(DeviceMemory, MoveTransfersOwnership) {
+  Device dev(TinySpec(), 0);
+  auto a = dev.Alloc<uint64_t>(100, "a");
+  auto b = std::move(a);
+  EXPECT_EQ(dev.allocated_bytes(), 800u);
+  EXPECT_TRUE(a.empty());  // NOLINT(bugprone-use-after-move)
+  b.Free();
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(DeviceMemory, FreeIsIdempotent) {
+  Device dev(TinySpec(), 0);
+  auto a = dev.Alloc<uint8_t>(64, "a");
+  a.Free();
+  a.Free();
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+}
+
+TEST(DeviceMemory, BuffersAreWritable) {
+  Device dev(TinySpec(), 0);
+  auto buf = dev.Alloc<int>(10, "b");
+  for (size_t i = 0; i < 10; ++i) buf[i] = static_cast<int>(i * i);
+  EXPECT_EQ(buf[7], 49);
+}
+
+// --------------------------------------------------------- shared memory --
+
+TEST(SharedMemory, BumpAllocates) {
+  SharedMemory shm(1024);
+  auto a = shm.Alloc<float>(64);
+  EXPECT_EQ(a.size(), 64u);
+  EXPECT_EQ(shm.used(), 256u);
+}
+
+TEST(SharedMemory, ExhaustionThrows) {
+  SharedMemory shm(256);
+  shm.Alloc<float>(60);
+  EXPECT_THROW(shm.Alloc<float>(10), Error);
+}
+
+TEST(SharedMemory, ResetReclaimsEverything) {
+  SharedMemory shm(256);
+  shm.Alloc<float>(64);
+  shm.Reset();
+  EXPECT_EQ(shm.used(), 0u);
+  EXPECT_NO_THROW(shm.Alloc<float>(64));
+}
+
+TEST(SharedMemory, HighWaterTracksPeak) {
+  SharedMemory shm(1024);
+  shm.Alloc<float>(100);
+  shm.Reset();
+  shm.Alloc<float>(10);
+  EXPECT_EQ(shm.high_water(), 400u);
+}
+
+TEST(SharedMemory, AlignmentRespected) {
+  SharedMemory shm(1024);
+  shm.Alloc<char>(3);
+  auto d = shm.Alloc<double>(1);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(d.data()) % alignof(double), 0u);
+}
+
+// ---------------------------------------------------------------- launch --
+
+TEST(Launch, RunsEveryBlockOnce) {
+  Device dev(TitanXMaxwell(), 0);
+  std::vector<int> hits(37, 0);
+  dev.Launch("k", {37, 32},
+             [&](BlockContext& ctx) { ++hits[ctx.block_id()]; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(Launch, CountersAggregateAcrossBlocks) {
+  Device dev(TitanXMaxwell(), 0);
+  const auto rec = dev.Launch("k", {10, 64}, [&](BlockContext& ctx) {
+    ctx.ReadGlobal(100);
+    ctx.WriteGlobal(50);
+    ctx.Flops(7);
+  });
+  EXPECT_EQ(rec.counters.global_read_bytes, 1000u);
+  EXPECT_EQ(rec.counters.global_write_bytes, 500u);
+  EXPECT_EQ(rec.counters.flops, 70u);
+  EXPECT_EQ(rec.counters.blocks, 10u);
+  EXPECT_EQ(rec.counters.warps, 20u);
+}
+
+TEST(Launch, BlockDimMustBeWarpMultiple) {
+  Device dev(TitanXMaxwell(), 0);
+  EXPECT_THROW(dev.Launch("k", {1, 33}, [](BlockContext&) {}), Error);
+}
+
+TEST(Launch, BlockDimLimitEnforced) {
+  Device dev(TitanXMaxwell(), 0);
+  EXPECT_THROW(dev.Launch("k", {1, 2048}, [](BlockContext&) {}), Error);
+}
+
+TEST(Launch, AdvancesStreamClock) {
+  Device dev(TitanXMaxwell(), 0);
+  const double before = dev.Now();
+  dev.Launch("k", {1, 32}, [&](BlockContext& ctx) { ctx.ReadGlobal(1 << 20); });
+  EXPECT_GT(dev.Now(), before);
+}
+
+TEST(Launch, SimTimeScalesWithTraffic) {
+  Device dev(TitanXMaxwell(), 0);
+  const auto small = dev.Launch("k", {1, 32}, [&](BlockContext& ctx) {
+    ctx.ReadGlobal(10 << 20);
+  });
+  const auto big = dev.Launch("k", {1, 32}, [&](BlockContext& ctx) {
+    ctx.ReadGlobal(100 << 20);
+  });
+  EXPECT_GT(big.time.total_s, 5 * small.time.total_s);
+}
+
+TEST(Launch, AtomicAddIsFunctionalAndBilled) {
+  Device dev(TitanXMaxwell(), 0);
+  uint32_t target = 0;
+  const auto rec = dev.Launch("k", {8, 32}, [&](BlockContext& ctx) {
+    for (int i = 0; i < 100; ++i) ctx.AtomicAdd(target, 1u);
+  });
+  EXPECT_EQ(target, 800u);
+  EXPECT_EQ(rec.counters.atomic_ops, 800u);
+}
+
+TEST(Launch, ParallelPoolMatchesSequential) {
+  ThreadPool pool(4);
+  Device seq(TitanXMaxwell(), 0);
+  Device par(TitanXMaxwell(), 1, &pool);
+  std::atomic<uint64_t> sum_par{0};
+  uint64_t sum_seq = 0;
+  seq.Launch("k", {64, 32},
+             [&](BlockContext& ctx) { sum_seq += ctx.block_id(); });
+  const auto rec_par = par.Launch("k", {64, 32}, [&](BlockContext& ctx) {
+    sum_par.fetch_add(ctx.block_id());
+    ctx.ReadGlobal(10);
+  });
+  EXPECT_EQ(sum_seq, sum_par.load());
+  EXPECT_EQ(rec_par.counters.global_read_bytes, 640u);
+}
+
+TEST(Launch, ProfileAccumulates) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.Launch("a", {1, 32}, [](BlockContext& ctx) { ctx.ReadGlobal(8); });
+  dev.Launch("a", {1, 32}, [](BlockContext& ctx) { ctx.ReadGlobal(8); });
+  dev.Launch("b", {1, 32}, [](BlockContext&) {});
+  EXPECT_EQ(dev.profile().at("a").launches, 2u);
+  EXPECT_EQ(dev.profile().at("a").counters.global_read_bytes, 16u);
+  EXPECT_EQ(dev.profile().at("b").launches, 1u);
+}
+
+TEST(Launch, SharedMemoryIsPerBlock) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.Launch("k", {5, 32}, [&](BlockContext& ctx) {
+    // Each block should get a fresh arena.
+    auto span = ctx.shared().Alloc<float>(1000);
+    EXPECT_EQ(span.size(), 1000u);
+  });
+}
+
+// ------------------------------------------------------------ cost model --
+
+TEST(CostModel, MemoryBoundKernelBilledAtBandwidth) {
+  const DeviceSpec spec = V100Volta();
+  CostModel model(spec);
+  KernelCounters c;
+  c.global_read_bytes = 1 << 30;
+  const auto t = model.KernelTime(c);
+  EXPECT_NEAR(t.dram_s, (1 << 30) / spec.EffectiveBandwidthBps(), 1e-9);
+  EXPECT_GT(t.total_s, t.dram_s * 0.99);
+}
+
+TEST(CostModel, ComputeBoundKernelBilledAtFlops) {
+  CostModel model(V100Volta());
+  KernelCounters c;
+  c.flops = 1ull << 40;
+  c.global_read_bytes = 1;  // negligible
+  const auto t = model.KernelTime(c);
+  EXPECT_GT(t.compute_s, t.dram_s * 100);
+  EXPECT_NEAR(t.total_s, t.compute_s + t.overhead_s, t.total_s * 1e-6);
+}
+
+TEST(CostModel, AtomicsCanDominate) {
+  CostModel model(TitanXMaxwell());
+  KernelCounters c;
+  c.atomic_ops = 1ull << 30;
+  const auto t = model.KernelTime(c);
+  EXPECT_GT(t.atomic_s, 0.3);
+  EXPECT_GE(t.total_s, t.atomic_s);
+}
+
+TEST(CostModel, MemDerateScalesDramTime) {
+  CostModel model(TitanXpPascal());
+  KernelCounters c;
+  c.global_read_bytes = 1 << 30;
+  const auto full = model.KernelTime(c, 1.0);
+  const auto half = model.KernelTime(c, 0.5);
+  EXPECT_NEAR(half.dram_s, 2 * full.dram_s, full.dram_s * 1e-9);
+}
+
+TEST(Launch, MemDerateValidated) {
+  Device dev(TitanXMaxwell(), 0);
+  LaunchConfig bad{1, 32, 0.0};
+  EXPECT_THROW(dev.Launch("k", bad, [](BlockContext&) {}), Error);
+  LaunchConfig bad2{1, 32, 1.5};
+  EXPECT_THROW(dev.Launch("k", bad2, [](BlockContext&) {}), Error);
+}
+
+TEST(Launch, MemDerateSlowsKernel) {
+  Device dev(TitanXMaxwell(), 0);
+  auto body = [](BlockContext& ctx) { ctx.ReadGlobal(100 << 20); };
+  const auto fast = dev.Launch("k", {1, 32, 1.0}, body);
+  const auto slow = dev.Launch("k", {1, 32, 0.25}, body);
+  EXPECT_GT(slow.time.total_s, 3 * fast.time.total_s);
+}
+
+TEST(CostModel, LaunchOverheadFloorsTinyKernels) {
+  const DeviceSpec spec = TitanXMaxwell();
+  CostModel model(spec);
+  const auto t = model.KernelTime(KernelCounters{});
+  EXPECT_GE(t.total_s, spec.kernel_launch_us * 1e-6 * 0.99);
+}
+
+TEST(CostModel, FlopsPerByteMatchesRoofline) {
+  KernelCounters c;
+  c.flops = 27;
+  c.global_read_bytes = 60;
+  c.l1_read_bytes = 20;
+  c.global_write_bytes = 20;
+  EXPECT_NEAR(c.FlopsPerByte(), 0.27, 1e-9);
+}
+
+// --------------------------------------------------------------- streams --
+
+TEST(Streams, IndependentClocks) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.Launch("k", {1, 32},
+             [](BlockContext& ctx) { ctx.ReadGlobal(100 << 20); },
+             &dev.stream(0));
+  EXPECT_GT(dev.stream(0).ready_time(), 0.0);
+  EXPECT_EQ(dev.stream(1).ready_time(), 0.0);
+}
+
+TEST(Streams, WaitUntilOnlyMovesForward) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.stream(0).WaitUntil(1.0);
+  dev.stream(0).WaitUntil(0.5);
+  EXPECT_DOUBLE_EQ(dev.stream(0).ready_time(), 1.0);
+}
+
+TEST(Streams, SynchronizeAlignsAllStreams) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.stream(2).WaitUntil(3.0);
+  const double t = dev.Synchronize();
+  EXPECT_DOUBLE_EQ(t, 3.0);
+  EXPECT_DOUBLE_EQ(dev.stream(0).ready_time(), 3.0);
+  EXPECT_DOUBLE_EQ(dev.stream(1).ready_time(), 3.0);
+}
+
+TEST(Streams, OverlapReducesTotalTime) {
+  // Two equal kernels on separate streams finish in ~half the serial time.
+  auto run = [](bool overlap) {
+    Device dev(TitanXMaxwell(), 0);
+    auto body = [](BlockContext& ctx) { ctx.ReadGlobal(200 << 20); };
+    dev.Launch("a", {1, 32}, body, &dev.stream(0));
+    dev.Launch("b", {1, 32}, body, overlap ? &dev.stream(1) : &dev.stream(0));
+    return dev.Now();
+  };
+  EXPECT_LT(run(true), 0.6 * run(false));
+}
+
+TEST(Transfers, BilledOverHostLink) {
+  Device dev(TitanXMaxwell(), 0);
+  auto buf = dev.Alloc<uint8_t>(16 << 20, "x");
+  std::vector<uint8_t> host(16 << 20, 7);
+  dev.CopyIn(buf, std::span<const uint8_t>(host));
+  EXPECT_EQ(buf[12345], 7);
+  // 16 MiB over 16 GB/s ≈ 1.05 ms.
+  EXPECT_NEAR(dev.Now(), 16.78e6 / 16e9, 3e-4);
+  EXPECT_EQ(dev.transfer_bytes(), 16u << 20);
+}
+
+TEST(Transfers, CopyOutMovesDataBack) {
+  Device dev(TitanXMaxwell(), 0);
+  auto buf = dev.Alloc<int>(4, "x");
+  buf[0] = 1; buf[1] = 2; buf[2] = 3; buf[3] = 4;
+  std::vector<int> host(4, 0);
+  dev.CopyOut(std::span<int>(host), buf);
+  EXPECT_EQ(host, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Transfers, ResetTimeRewindsClock) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.RecordTransfer(1 << 20, "h2d");
+  EXPECT_GT(dev.Now(), 0.0);
+  dev.ResetTime();
+  EXPECT_DOUBLE_EQ(dev.Now(), 0.0);
+}
+
+// ------------------------------------------------------------------ warp --
+
+TEST(Warp, InclusiveScan) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.Launch("k", {1, 32}, [](BlockContext& ctx) {
+    WarpLanes<int> lanes;
+    for (uint32_t i = 0; i < kWarpSize; ++i) lanes[i] = 1;
+    WarpInclusiveScan(ctx, lanes);
+    for (uint32_t i = 0; i < kWarpSize; ++i) {
+      EXPECT_EQ(lanes[i], static_cast<int>(i + 1));
+    }
+  });
+}
+
+TEST(Warp, Reduce) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.Launch("k", {1, 32}, [](BlockContext& ctx) {
+    WarpLanes<int> lanes;
+    for (uint32_t i = 0; i < kWarpSize; ++i) lanes[i] = static_cast<int>(i);
+    EXPECT_EQ(WarpReduce(ctx, lanes), 496);
+  });
+}
+
+TEST(Warp, FindFirst) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.Launch("k", {1, 32}, [](BlockContext& ctx) {
+    WarpLanes<bool> lanes{};
+    lanes[13] = true;
+    lanes[20] = true;
+    EXPECT_EQ(WarpFindFirst(ctx, lanes), 13u);
+    WarpLanes<bool> none{};
+    EXPECT_EQ(WarpFindFirst(ctx, none), kWarpSize);
+  });
+}
+
+}  // namespace
+}  // namespace culda::gpusim

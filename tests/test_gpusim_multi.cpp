@@ -1,0 +1,95 @@
+// Unit tests for DeviceGroup: peer transfers, barriers, group time.
+#include <gtest/gtest.h>
+
+#include "gpusim/multi_gpu.hpp"
+
+namespace culda::gpusim {
+namespace {
+
+DeviceGroup MakeGroup(size_t n, LinkSpec link = Pcie3x16()) {
+  std::vector<DeviceSpec> specs(n, TitanXpPascal());
+  return DeviceGroup(std::move(specs), link);
+}
+
+TEST(DeviceGroup, ConstructsRequestedDevices) {
+  auto g = MakeGroup(4);
+  EXPECT_EQ(g.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(g.device(i).id(), static_cast<int>(i));
+  }
+}
+
+TEST(DeviceGroup, EmptyGroupRejected) {
+  EXPECT_THROW(DeviceGroup({}, Pcie3x16()), Error);
+}
+
+TEST(DeviceGroup, PeerTransferAdvancesBothEnds) {
+  auto g = MakeGroup(2);
+  const double end = g.PeerTransfer(0, 1, 160 << 20);
+  EXPECT_NEAR(end, 160e6 * 1.048 / 16e9, 2e-3);
+  EXPECT_DOUBLE_EQ(g.device(0).stream(0).ready_time(), end);
+  EXPECT_DOUBLE_EQ(g.device(1).stream(0).ready_time(), end);
+}
+
+TEST(DeviceGroup, PeerTransferWaitsForBusyEndpoint) {
+  auto g = MakeGroup(2);
+  g.device(1).stream(0).WaitUntil(2.0);
+  const double end = g.PeerTransfer(0, 1, 16 << 10);
+  EXPECT_GT(end, 2.0);
+}
+
+TEST(DeviceGroup, SelfTransferRejected) {
+  auto g = MakeGroup(2);
+  EXPECT_THROW(g.PeerTransfer(1, 1, 100), Error);
+}
+
+TEST(DeviceGroup, NvLinkFasterThanPcie) {
+  auto pcie = MakeGroup(2, Pcie3x16());
+  auto nvlink = MakeGroup(2, NvLink2());
+  const uint64_t bytes = 1 << 30;
+  EXPECT_GT(pcie.PeerTransfer(0, 1, bytes),
+            5 * nvlink.PeerTransfer(0, 1, bytes));
+}
+
+TEST(DeviceGroup, BarrierAlignsEveryDevice) {
+  auto g = MakeGroup(3);
+  g.device(2).stream(1).WaitUntil(5.0);
+  const double t = g.Barrier();
+  EXPECT_DOUBLE_EQ(t, 5.0);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(g.device(i).Now(), 5.0);
+  }
+}
+
+TEST(DeviceGroup, NowIsGroupMax) {
+  auto g = MakeGroup(2);
+  g.device(0).stream(0).WaitUntil(1.0);
+  g.device(1).stream(0).WaitUntil(4.0);
+  EXPECT_DOUBLE_EQ(g.Now(), 4.0);
+}
+
+TEST(DeviceGroup, PeerBytesAccumulate) {
+  auto g = MakeGroup(2);
+  g.PeerTransfer(0, 1, 100);
+  g.PeerTransfer(1, 0, 50);
+  EXPECT_EQ(g.peer_bytes(), 150u);
+}
+
+TEST(DeviceGroup, ResetTimeRewindsAllClocks) {
+  auto g = MakeGroup(2);
+  g.PeerTransfer(0, 1, 1 << 20);
+  g.ResetTime();
+  EXPECT_DOUBLE_EQ(g.Now(), 0.0);
+}
+
+TEST(DeviceGroup, DisjointPairsOverlapInTime) {
+  // Transfers (0→1) and (2→3) do not serialize.
+  auto g = MakeGroup(4);
+  const uint64_t bytes = 1 << 30;
+  const double t1 = g.PeerTransfer(0, 1, bytes);
+  const double t2 = g.PeerTransfer(2, 3, bytes);
+  EXPECT_NEAR(t1, t2, 1e-9);
+}
+
+}  // namespace
+}  // namespace culda::gpusim

@@ -1,0 +1,191 @@
+// Tests for the F-ary index-tree sampler (Figure 5): the search must agree
+// exactly with a linear scan of the prefix sums, for every fanout and size.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/index_tree.hpp"
+#include "util/philox.hpp"
+
+namespace culda::core {
+namespace {
+
+/// Reference: minimal k with prefix[k] > u, clamped to n−1.
+size_t LinearSearch(const std::vector<float>& p, float u) {
+  float acc = 0;
+  for (size_t k = 0; k < p.size(); ++k) {
+    acc += p[k];
+    if (acc > u) return k;
+  }
+  return p.size() - 1;
+}
+
+std::vector<float> RandomDistribution(size_t n, uint64_t seed,
+                                      double zero_fraction = 0.0) {
+  PhiloxStream rng(seed, 0);
+  std::vector<float> p(n);
+  for (auto& x : p) {
+    x = rng.NextDouble() < zero_fraction ? 0.0f : rng.NextFloat() + 1e-3f;
+  }
+  return p;
+}
+
+struct TreeCase {
+  size_t n;
+  uint32_t fanout;
+};
+
+class IndexTreeSweep : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(IndexTreeSweep, MatchesLinearScanOnRandomDraws) {
+  const auto [n, fanout] = GetParam();
+  const auto p = RandomDistribution(n, 42 + n + fanout);
+  IndexTree tree(n, fanout);
+  const float total = tree.view().Build(p);
+
+  float check = 0;
+  for (const float x : p) check += x;
+  EXPECT_NEAR(total, check, check * 1e-4);
+
+  PhiloxStream rng(7, n * 100 + fanout);
+  for (int i = 0; i < 500; ++i) {
+    const float u = rng.NextFloat() * total;
+    EXPECT_EQ(tree.view().Search(u), LinearSearch(p, u))
+        << "n=" << n << " fanout=" << fanout << " u=" << u;
+  }
+}
+
+TEST_P(IndexTreeSweep, BoundaryDraws) {
+  const auto [n, fanout] = GetParam();
+  const auto p = RandomDistribution(n, 99 + n * 3 + fanout);
+  IndexTree tree(n, fanout);
+  const float total = tree.view().Build(p);
+
+  EXPECT_EQ(tree.view().Search(0.0f), LinearSearch(p, 0.0f));
+  // At or beyond the total mass the search clamps to the last index.
+  EXPECT_EQ(tree.view().Search(total), n - 1);
+  EXPECT_EQ(tree.view().Search(total * 2), n - 1);
+  // Exactly at internal prefix boundaries.
+  for (size_t k = 0; k + 1 < n && k < 40; ++k) {
+    const float u = tree.view().PrefixAt(k);
+    EXPECT_EQ(tree.view().Search(u), LinearSearch(p, u)) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndFanouts, IndexTreeSweep,
+    ::testing::Values(TreeCase{1, 32}, TreeCase{2, 2}, TreeCase{5, 2},
+                      TreeCase{31, 32}, TreeCase{32, 32}, TreeCase{33, 32},
+                      TreeCase{100, 8}, TreeCase{256, 32}, TreeCase{256, 2},
+                      TreeCase{1000, 32}, TreeCase{1024, 32},
+                      TreeCase{4096, 32}, TreeCase{65536, 32},
+                      TreeCase{513, 8}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "_f" +
+             std::to_string(info.param.fanout);
+    });
+
+TEST(IndexTree, SparseDistributionWithZeros) {
+  // Zero-probability entries must never be returned by interior draws.
+  const size_t n = 200;
+  auto p = RandomDistribution(n, 5, /*zero_fraction=*/0.7);
+  p[0] = 0.0f;  // force a zero at the boundary
+  IndexTree tree(n, 32);
+  const float total = tree.view().Build(p);
+  PhiloxStream rng(11, 0);
+  for (int i = 0; i < 2000; ++i) {
+    // Strictly interior draw.
+    const float u = rng.NextFloat() * total * 0.999f;
+    const size_t k = tree.view().Search(u);
+    EXPECT_EQ(k, LinearSearch(p, u));
+  }
+}
+
+TEST(IndexTree, StorageSlotsAccounting) {
+  // n=256, fanout=32: leaves 256 + one internal level of 8.
+  EXPECT_EQ(IndexTreeView::StorageSlots(256, 32), 264u);
+  // n<=fanout: leaves only.
+  EXPECT_EQ(IndexTreeView::StorageSlots(20, 32), 20u);
+  // n=1024, fanout=32: 1024 + 32.
+  EXPECT_EQ(IndexTreeView::StorageSlots(1024, 32), 1056u);
+  // Binary tree n=8: 8 + 4 + 2.
+  EXPECT_EQ(IndexTreeView::StorageSlots(8, 2), 14u);
+}
+
+TEST(IndexTree, LevelsCount) {
+  IndexTree t1(20, 32);
+  EXPECT_EQ(t1.view().levels(), 1u);
+  IndexTree t2(256, 32);
+  EXPECT_EQ(t2.view().levels(), 2u);
+  IndexTree t3(65536, 32);
+  EXPECT_EQ(t3.view().levels(), 4u);  // 65536, 2048, 64, 2
+}
+
+TEST(IndexTree, TooSmallStorageRejected) {
+  std::vector<float> storage(10);
+  EXPECT_THROW(IndexTreeView(storage, 100, 32), Error);
+}
+
+TEST(IndexTree, ComparisonCountBounded) {
+  // A search inspects at most `fanout` entries per level.
+  const size_t n = 4096;
+  const auto p = RandomDistribution(n, 17);
+  IndexTree tree(n, 32);
+  const float total = tree.view().Build(p);
+  PhiloxStream rng(3, 0);
+  for (int i = 0; i < 200; ++i) {
+    uint64_t comparisons = 0;
+    tree.view().Search(rng.NextFloat() * total, &comparisons);
+    EXPECT_LE(comparisons, 32u * tree.view().levels());
+    EXPECT_GE(comparisons, tree.view().levels());
+  }
+}
+
+TEST(IndexTree, RebuildOverwritesCompletely) {
+  const size_t n = 64;
+  IndexTree tree(n, 32);
+  auto p1 = RandomDistribution(n, 1);
+  tree.view().Build(p1);
+  std::vector<float> p2(n, 0.0f);
+  p2[10] = 1.0f;
+  tree.view().Build(p2);
+  EXPECT_EQ(tree.view().Search(0.5f), 10u);
+  EXPECT_NEAR(tree.view().TotalMass(), 1.0f, 1e-6);
+}
+
+TEST(IndexTree, SingletonDistribution) {
+  IndexTree tree(1, 32);
+  std::vector<float> p{0.3f};
+  tree.view().Build(p);
+  EXPECT_EQ(tree.view().Search(0.0f), 0u);
+  EXPECT_EQ(tree.view().Search(0.29f), 0u);
+  EXPECT_EQ(tree.view().Search(1.0f), 0u);
+}
+
+TEST(IndexTree, SamplingFrequenciesMatchDistribution) {
+  // End-to-end statistical check: draw 100k samples through the tree and
+  // compare empirical frequencies with the distribution.
+  const size_t n = 16;
+  std::vector<float> p(n);
+  float total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    p[k] = static_cast<float>(k + 1);
+    total += p[k];
+  }
+  IndexTree tree(n, 4);
+  tree.view().Build(p);
+  std::vector<int> hits(n, 0);
+  PhiloxStream rng(123, 9);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++hits[tree.view().Search(rng.NextFloat() * total)];
+  }
+  for (size_t k = 0; k < n; ++k) {
+    const double expect = draws * p[k] / total;
+    EXPECT_NEAR(hits[k], expect, 5 * std::sqrt(expect) + 5) << "k=" << k;
+  }
+}
+
+}  // namespace
+}  // namespace culda::core

@@ -1,0 +1,126 @@
+// Property sweep over the sampler's optimization-switch grid: every
+// combination of the Section 6 flags must produce IDENTICAL topic
+// assignments (the switches change billed traffic, never values), and the
+// billed traffic must be monotone in the expected directions.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/kernels.hpp"
+#include "corpus/chunking.hpp"
+#include "corpus/synthetic.hpp"
+#include "util/philox.hpp"
+
+namespace culda::core {
+namespace {
+
+struct SamplerRun {
+  std::vector<uint16_t> z;
+  gpusim::KernelCounters counters;
+};
+
+SamplerRun RunWith(const CuldaConfig& cfg) {
+  corpus::SyntheticProfile p;
+  p.num_docs = 150;
+  p.vocab_size = 200;
+  p.avg_doc_length = 50;
+  const auto corpus = corpus::GenerateCorpus(p);
+
+  gpusim::Device device(gpusim::TitanXpPascal(), 0);
+  ChunkState chunk;
+  chunk.layout = corpus::BuildWordFirstChunk(
+      corpus, corpus::PartitionByTokens(corpus, 1)[0]);
+  chunk.work =
+      corpus::BuildBlockWorkList(chunk.layout, cfg.max_tokens_per_block);
+  chunk.z.resize(chunk.layout.num_tokens());
+  for (uint64_t t = 0; t < chunk.z.size(); ++t) {
+    PhiloxStream rng(cfg.seed, chunk.layout.token_global[t]);
+    chunk.z[t] = static_cast<uint16_t>(rng.NextBelow(cfg.num_topics));
+  }
+  chunk.theta = ThetaMatrix(chunk.layout.num_docs(), cfg.num_topics);
+  PhiReplica replica(cfg.num_topics, corpus.vocab_size());
+  RunUpdatePhiKernel(device, cfg, chunk, replica);
+  RunUpdateThetaKernel(device, cfg, chunk);
+  RunComputeNkKernel(device, cfg, replica);
+
+  const auto rec = RunSamplingKernel(device, cfg, chunk, replica, 1);
+  return {chunk.z, rec.counters};
+}
+
+using FlagGrid = std::tuple<bool, bool, bool, bool, bool>;
+
+class SamplerFlagGrid : public ::testing::TestWithParam<FlagGrid> {};
+
+TEST_P(SamplerFlagGrid, FlagsNeverChangeResults) {
+  const auto [share, reuse, compress, l1, shared_trees] = GetParam();
+  CuldaConfig cfg;
+  cfg.num_topics = 48;
+  cfg.share_p2_tree = share;
+  cfg.reuse_pstar = reuse;
+  cfg.compress_indices = compress;
+  cfg.l1_for_indices = l1;
+  cfg.use_shared_trees = shared_trees;
+
+  CuldaConfig reference;
+  reference.num_topics = 48;
+
+  const SamplerRun a = RunWith(cfg);
+  const SamplerRun b = RunWith(reference);
+  EXPECT_EQ(a.z, b.z) << "optimization flags changed sampled topics";
+  EXPECT_GT(a.counters.flops, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombinations, SamplerFlagGrid,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool()),
+    [](const auto& info) {
+      std::string name;
+      name += std::get<0>(info.param) ? "Share" : "noShare";
+      name += std::get<1>(info.param) ? "Pstar" : "noPstar";
+      name += std::get<2>(info.param) ? "C16" : "C32";
+      name += std::get<3>(info.param) ? "L1" : "noL1";
+      name += std::get<4>(info.param) ? "Shm" : "noShm";
+      return name;
+    });
+
+TEST(SamplerTrafficMonotonicity, EachOptimizationReducesOffChipBytes) {
+  CuldaConfig base;
+  base.num_topics = 48;
+  const uint64_t optimized = RunWith(base).counters.TotalOffChipBytes();
+
+  for (const auto& [label, mutate] :
+       std::vector<std::pair<const char*,
+                             std::function<void(CuldaConfig&)>>>{
+           {"share_p2_tree",
+            [](CuldaConfig& c) { c.share_p2_tree = false; }},
+           {"reuse_pstar", [](CuldaConfig& c) { c.reuse_pstar = false; }},
+           {"compress_indices",
+            [](CuldaConfig& c) { c.compress_indices = false; }},
+           {"use_shared_trees",
+            [](CuldaConfig& c) { c.use_shared_trees = false; }},
+       }) {
+    CuldaConfig cfg = base;
+    mutate(cfg);
+    const uint64_t degraded = RunWith(cfg).counters.TotalOffChipBytes();
+    EXPECT_GT(degraded, optimized) << "disabling " << label
+                                   << " should increase off-chip traffic";
+  }
+}
+
+TEST(SamplerTrafficMonotonicity, L1RoutingMovesNotAdds) {
+  CuldaConfig on;
+  on.num_topics = 48;
+  CuldaConfig off = on;
+  off.l1_for_indices = false;
+  const auto a = RunWith(on).counters;
+  const auto b = RunWith(off).counters;
+  // Same total bytes, different placement.
+  EXPECT_EQ(a.TotalOffChipBytes(), b.TotalOffChipBytes());
+  EXPECT_GT(a.l1_read_bytes, b.l1_read_bytes);
+  EXPECT_LT(a.global_read_bytes, b.global_read_bytes);
+}
+
+}  // namespace
+}  // namespace culda::core

@@ -1,0 +1,111 @@
+// Tests for model serialization: round-trip fidelity and corruption
+// rejection (failure injection on the binary format).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/evaluator.hpp"
+#include "core/model_io.hpp"
+#include "core/trainer.hpp"
+#include "corpus/synthetic.hpp"
+
+namespace culda::core {
+namespace {
+
+struct Trained {
+  corpus::Corpus corpus;
+  CuldaConfig cfg;
+  GatheredModel model;
+};
+
+Trained TrainSmall() {
+  corpus::SyntheticProfile p;
+  p.num_docs = 150;
+  p.vocab_size = 200;
+  p.avg_doc_length = 30;
+  Trained t{corpus::GenerateCorpus(p), {}, {}};
+  t.cfg.num_topics = 16;
+  CuldaTrainer trainer(t.corpus, t.cfg, {});
+  trainer.Train(3);
+  t.model = trainer.Gather();
+  return t;
+}
+
+std::string Serialize(const GatheredModel& m) {
+  std::ostringstream out(std::ios::binary);
+  SaveModel(m, out);
+  return out.str();
+}
+
+TEST(ModelIo, RoundTripPreservesEverything) {
+  const Trained t = TrainSmall();
+  std::stringstream buf(std::ios::binary | std::ios::in | std::ios::out);
+  SaveModel(t.model, buf);
+  const GatheredModel loaded = LoadModel(buf);
+
+  EXPECT_EQ(loaded.num_topics, t.model.num_topics);
+  EXPECT_EQ(loaded.vocab_size, t.model.vocab_size);
+  EXPECT_EQ(loaded.num_docs, t.model.num_docs);
+  ASSERT_EQ(loaded.theta.nnz(), t.model.theta.nnz());
+  for (size_t i = 0; i < loaded.theta.nnz(); ++i) {
+    ASSERT_EQ(loaded.theta.col_idx()[i], t.model.theta.col_idx()[i]);
+    ASSERT_EQ(loaded.theta.values()[i], t.model.theta.values()[i]);
+  }
+  for (size_t i = 0; i < loaded.phi.flat().size(); ++i) {
+    ASSERT_EQ(loaded.phi.flat()[i], t.model.phi.flat()[i]);
+  }
+  EXPECT_EQ(loaded.nk, t.model.nk);
+  loaded.Validate(t.corpus);
+
+  // Semantics preserved: identical log-likelihood.
+  EXPECT_DOUBLE_EQ(LogLikelihoodPerToken(loaded, t.cfg),
+                   LogLikelihoodPerToken(t.model, t.cfg));
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const Trained t = TrainSmall();
+  const std::string path = ::testing::TempDir() + "/culda_model.bin";
+  SaveModelToFile(t.model, path);
+  const GatheredModel loaded = LoadModelFromFile(path);
+  loaded.Validate(t.corpus);
+}
+
+TEST(ModelIo, RejectsBadMagic) {
+  std::string bytes = Serialize(TrainSmall().model);
+  bytes[0] = 'X';
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(LoadModel(in), Error);
+}
+
+TEST(ModelIo, RejectsBadVersion) {
+  std::string bytes = Serialize(TrainSmall().model);
+  bytes[8] = 99;  // version field follows the 8-byte magic
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(LoadModel(in), Error);
+}
+
+TEST(ModelIo, RejectsTruncation) {
+  const std::string bytes = Serialize(TrainSmall().model);
+  for (const double frac : {0.1, 0.5, 0.9, 0.999}) {
+    std::istringstream in(
+        bytes.substr(0, static_cast<size_t>(bytes.size() * frac)),
+        std::ios::binary);
+    EXPECT_THROW(LoadModel(in), Error) << "fraction " << frac;
+  }
+}
+
+TEST(ModelIo, RejectsCorruptNk) {
+  // Flip a φ count so n_k no longer matches its row sum.
+  std::string bytes = Serialize(TrainSmall().model);
+  // φ sits near the end of the file; corrupt a byte in its region.
+  bytes[bytes.size() - 16 * 4 - 100] ^= 0xFF;
+  std::istringstream in(bytes, std::ios::binary);
+  EXPECT_THROW(LoadModel(in), Error);
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW(LoadModelFromFile("/nonexistent/model.bin"), Error);
+}
+
+}  // namespace
+}  // namespace culda::core

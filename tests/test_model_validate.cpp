@@ -1,0 +1,128 @@
+// Failure-injection tests for the model invariant checker and related
+// validation surfaces: every class of corruption must be caught, never
+// silently accepted.
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "corpus/synthetic.hpp"
+
+namespace culda::core {
+namespace {
+
+struct Trained {
+  corpus::Corpus corpus;
+  CuldaConfig cfg;
+  GatheredModel model;
+};
+
+Trained MakeTrained() {
+  corpus::SyntheticProfile p;
+  p.num_docs = 120;
+  p.vocab_size = 150;
+  p.avg_doc_length = 25;
+  Trained t{corpus::GenerateCorpus(p), {}, {}};
+  t.cfg.num_topics = 12;
+  CuldaTrainer trainer(t.corpus, t.cfg, {});
+  trainer.Train(2);
+  t.model = trainer.Gather();
+  return t;
+}
+
+TEST(ModelValidate, CleanModelPasses) {
+  const Trained t = MakeTrained();
+  EXPECT_NO_THROW(t.model.Validate(t.corpus));
+}
+
+TEST(ModelValidate, DetectsThetaCountTampering) {
+  Trained t = MakeTrained();
+  ASSERT_GT(t.model.theta.nnz(), 0u);
+  t.model.theta.mutable_values()[0] += 1;  // row sum ≠ doc length
+  EXPECT_THROW(t.model.Validate(t.corpus), Error);
+}
+
+TEST(ModelValidate, DetectsNonPositiveThetaEntry) {
+  Trained t = MakeTrained();
+  t.model.theta.mutable_values()[0] = 0;
+  EXPECT_THROW(t.model.Validate(t.corpus), Error);
+}
+
+TEST(ModelValidate, DetectsPhiNkMismatch) {
+  Trained t = MakeTrained();
+  t.model.nk[0] += 1;
+  EXPECT_THROW(t.model.Validate(t.corpus), Error);
+}
+
+TEST(ModelValidate, DetectsPhiCellTampering) {
+  Trained t = MakeTrained();
+  // Move a count between cells of one topic row: n_k stays right, the
+  // grand total stays right — but pairing with nk of *another* topic row
+  // breaks. Tamper across rows to hit the row-sum check.
+  uint32_t v = 0;
+  while (t.model.phi(0, v) == 0) ++v;
+  t.model.phi(0, v) -= 1;
+  t.model.phi(1, v) += 1;
+  EXPECT_THROW(t.model.Validate(t.corpus), Error);
+}
+
+TEST(ModelValidate, DetectsTokenTotalMismatch) {
+  Trained t = MakeTrained();
+  // Consistent nk and row sums, but one token short overall: drop one
+  // count and fix nk to match.
+  uint32_t v = 0;
+  while (t.model.phi(3, v) == 0) ++v;
+  t.model.phi(3, v) -= 1;
+  t.model.nk[3] -= 1;
+  EXPECT_THROW(t.model.Validate(t.corpus), Error);
+}
+
+TEST(ModelValidate, DetectsWrongCorpus) {
+  const Trained t = MakeTrained();
+  corpus::SyntheticProfile other;
+  other.num_docs = 120;
+  other.vocab_size = 150;
+  other.avg_doc_length = 25;
+  other.seed = 777;  // different doc lengths
+  const auto wrong = corpus::GenerateCorpus(other);
+  EXPECT_THROW(t.model.Validate(wrong), Error);
+}
+
+TEST(ModelValidate, DetectsDocCountMismatch) {
+  const Trained t = MakeTrained();
+  corpus::SyntheticProfile p;
+  p.num_docs = 121;
+  p.vocab_size = 150;
+  const auto wrong = corpus::GenerateCorpus(p);
+  EXPECT_THROW(t.model.Validate(wrong), Error);
+}
+
+// --------------------------------------------------- iteration bookkeeping
+
+TEST(TrainerHistory, RecordsEveryIteration) {
+  const Trained t = MakeTrained();
+  CuldaTrainer trainer(t.corpus, t.cfg, {});
+  trainer.Train(4);
+  ASSERT_EQ(trainer.history().size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(trainer.history()[i].iteration, i);
+    EXPECT_GT(trainer.history()[i].sim_seconds, 0.0);
+  }
+  EXPECT_EQ(trainer.iteration(), 4u);
+}
+
+TEST(TrainerHistory, ThetaNnzShrinksAsModelConcentrates) {
+  corpus::SyntheticProfile p;
+  p.num_docs = 400;
+  p.vocab_size = 600;
+  p.avg_doc_length = 80;
+  const auto c = corpus::GenerateCorpus(p);
+  CuldaConfig cfg;
+  cfg.num_topics = 64;
+  CuldaTrainer trainer(c, cfg, {});
+  const auto history = trainer.Train(10);
+  EXPECT_LT(history.back().theta_nnz, history.front().theta_nnz);
+  // nnz is bounded by min(len_d, K) summed — sanity bound: ≤ tokens.
+  EXPECT_LE(history.back().theta_nnz, c.num_tokens());
+}
+
+}  // namespace
+}  // namespace culda::core

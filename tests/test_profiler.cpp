@@ -1,0 +1,106 @@
+// Tests for the profiler report and Chrome trace export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trainer.hpp"
+#include "corpus/synthetic.hpp"
+#include "gpusim/profiler.hpp"
+
+namespace culda::gpusim {
+namespace {
+
+TEST(Profiler, PrintProfileListsKernels) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.Launch("alpha_kernel", {4, 64},
+             [](BlockContext& ctx) { ctx.ReadGlobal(1024); });
+  dev.Launch("beta_kernel", {1, 32}, [](BlockContext&) {});
+  std::ostringstream out;
+  PrintProfile(dev, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("alpha_kernel"), std::string::npos);
+  EXPECT_NE(s.find("beta_kernel"), std::string::npos);
+  EXPECT_NE(s.find("TITAN X"), std::string::npos);
+}
+
+TEST(Profiler, TraceDisabledByDefault) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.Launch("k", {1, 32}, [](BlockContext&) {});
+  EXPECT_TRUE(dev.trace().empty());
+}
+
+TEST(Profiler, TraceRecordsLaunchesAndTransfers) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.set_record_trace(true);
+  dev.Launch("k", {1, 32}, [](BlockContext& ctx) { ctx.ReadGlobal(1 << 20); });
+  dev.RecordTransfer(4096, "h2d");
+  ASSERT_EQ(dev.trace().size(), 2u);
+  EXPECT_EQ(dev.trace()[0].name, "k");
+  EXPECT_EQ(dev.trace()[1].name, "memcpy_h2d");
+  EXPECT_GT(dev.trace()[0].end_s, dev.trace()[0].start_s);
+  // In-order on one stream.
+  EXPECT_GE(dev.trace()[1].start_s, dev.trace()[0].end_s - 1e-12);
+}
+
+TEST(Profiler, ChromeTraceIsWellFormedJson) {
+  Device dev(V100Volta(), 3);
+  dev.set_record_trace(true);
+  dev.Launch("sampling", {2, 64},
+             [](BlockContext& ctx) { ctx.ReadGlobal(1 << 16); },
+             &dev.stream(0));
+  dev.Launch("update", {1, 32},
+             [](BlockContext& ctx) { ctx.WriteGlobal(1 << 10); },
+             &dev.stream(1));
+  std::ostringstream out;
+  WriteChromeTrace(dev, out);
+  const std::string s = out.str();
+  EXPECT_EQ(s.front(), '[');
+  EXPECT_NE(s.find("\"name\": \"sampling\""), std::string::npos);
+  EXPECT_NE(s.find("\"pid\": 3"), std::string::npos);
+  EXPECT_NE(s.find("\"tid\": 1"), std::string::npos);
+  EXPECT_NE(s.find("\"ph\": \"X\""), std::string::npos);
+  // Events are comma-separated: 2 events → exactly 1 separator line.
+  EXPECT_NE(s.find("},\n"), std::string::npos);
+}
+
+TEST(Profiler, GroupTraceCoversAllDevices) {
+  DeviceGroup group({TitanXpPascal(), TitanXpPascal()});
+  for (size_t g = 0; g < group.size(); ++g) {
+    group.device(g).set_record_trace(true);
+    group.device(g).Launch("k", {1, 32}, [](BlockContext&) {});
+  }
+  std::ostringstream out;
+  WriteChromeTrace(group, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"pid\": 0"), std::string::npos);
+  EXPECT_NE(s.find("\"pid\": 1"), std::string::npos);
+}
+
+TEST(Profiler, TrainerTraceShowsTheKernelPipeline) {
+  corpus::SyntheticProfile p;
+  p.num_docs = 150;
+  p.vocab_size = 200;
+  const auto c = corpus::GenerateCorpus(p);
+  core::CuldaConfig cfg;
+  cfg.num_topics = 16;
+  core::CuldaTrainer trainer(c, cfg, {});
+  trainer.group().device(0).set_record_trace(true);
+  trainer.Step();
+  std::ostringstream out;
+  WriteChromeTrace(trainer.group(), out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("sampling"), std::string::npos);
+  EXPECT_NE(s.find("update_phi"), std::string::npos);
+  EXPECT_NE(s.find("update_theta"), std::string::npos);
+}
+
+TEST(Profiler, ResetProfileClearsTrace) {
+  Device dev(TitanXMaxwell(), 0);
+  dev.set_record_trace(true);
+  dev.Launch("k", {1, 32}, [](BlockContext&) {});
+  dev.ResetProfile();
+  EXPECT_TRUE(dev.trace().empty());
+}
+
+}  // namespace
+}  // namespace culda::gpusim

@@ -1,0 +1,95 @@
+// Tests for the train/held-out corpus splitting utilities.
+#include <gtest/gtest.h>
+
+#include "corpus/split.hpp"
+#include "corpus/synthetic.hpp"
+
+namespace culda::corpus {
+namespace {
+
+Corpus TestCorpus(uint64_t docs = 400) {
+  SyntheticProfile p;
+  p.num_docs = docs;
+  p.vocab_size = 200;
+  p.avg_doc_length = 20;
+  return GenerateCorpus(p);
+}
+
+TEST(Split, PartitionsAllTokens) {
+  const Corpus c = TestCorpus();
+  const auto split = SplitByDocuments(c, 0.2);
+  split.train.Validate();
+  split.heldout.Validate();
+  EXPECT_EQ(split.train.num_docs() + split.heldout.num_docs(), c.num_docs());
+  EXPECT_EQ(split.train.num_tokens() + split.heldout.num_tokens(),
+            c.num_tokens());
+  EXPECT_EQ(split.train.vocab_size(), c.vocab_size());
+}
+
+TEST(Split, FractionApproximatelyRespected) {
+  const Corpus c = TestCorpus(2000);
+  const auto split = SplitByDocuments(c, 0.25);
+  const double frac =
+      static_cast<double>(split.heldout.num_docs()) / c.num_docs();
+  EXPECT_NEAR(frac, 0.25, 0.05);
+}
+
+TEST(Split, Deterministic) {
+  const Corpus c = TestCorpus();
+  const auto a = SplitByDocuments(c, 0.3, 7);
+  const auto b = SplitByDocuments(c, 0.3, 7);
+  EXPECT_EQ(a.heldout.num_docs(), b.heldout.num_docs());
+  EXPECT_TRUE(std::equal(a.heldout.words().begin(),
+                         a.heldout.words().end(),
+                         b.heldout.words().begin()));
+}
+
+TEST(Split, SeedChangesAssignment) {
+  const Corpus c = TestCorpus();
+  const auto a = SplitByDocuments(c, 0.3, 1);
+  const auto b = SplitByDocuments(c, 0.3, 2);
+  EXPECT_FALSE(a.heldout.num_tokens() == b.heldout.num_tokens() &&
+               std::equal(a.heldout.words().begin(),
+                          a.heldout.words().end(),
+                          b.heldout.words().begin()));
+}
+
+TEST(Split, BothSidesNonEmptyAtExtremes) {
+  const Corpus c = TestCorpus(5);
+  for (const double f : {0.0001, 0.9999}) {
+    const auto split = SplitByDocuments(c, f);
+    EXPECT_GE(split.train.num_docs(), 1u) << f;
+    EXPECT_GE(split.heldout.num_docs(), 1u) << f;
+  }
+}
+
+TEST(Split, InvalidInputsRejected) {
+  const Corpus c = TestCorpus(5);
+  EXPECT_THROW(SplitByDocuments(c, 0.0), Error);
+  EXPECT_THROW(SplitByDocuments(c, 1.0), Error);
+  const Corpus single(3, {0, 2}, {0, 1});
+  EXPECT_THROW(SplitByDocuments(single, 0.5), Error);
+}
+
+TEST(Slice, ExtractsRangeIntact) {
+  const Corpus c = TestCorpus(50);
+  const Corpus slice = SliceDocuments(c, 10, 20);
+  slice.Validate();
+  ASSERT_EQ(slice.num_docs(), 10u);
+  for (size_t d = 0; d < 10; ++d) {
+    const auto expected = c.DocTokens(10 + d);
+    const auto got = slice.DocTokens(d);
+    ASSERT_EQ(got.size(), expected.size());
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), expected.begin()));
+  }
+}
+
+TEST(Slice, EmptyAndFullRanges) {
+  const Corpus c = TestCorpus(10);
+  EXPECT_EQ(SliceDocuments(c, 3, 3).num_docs(), 0u);
+  EXPECT_EQ(SliceDocuments(c, 0, 10).num_tokens(), c.num_tokens());
+  EXPECT_THROW(SliceDocuments(c, 5, 11), Error);
+}
+
+}  // namespace
+}  // namespace culda::corpus

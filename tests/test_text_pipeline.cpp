@@ -1,0 +1,165 @@
+// Tests for the vocabulary and the plain-text → corpus pipeline.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "corpus/text_pipeline.hpp"
+#include "corpus/vocabulary.hpp"
+#include "util/check.hpp"
+
+namespace culda::corpus {
+namespace {
+
+// ------------------------------------------------------------ vocabulary --
+
+TEST(Vocabulary, AssignsDenseIdsInInsertionOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(v.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Vocabulary, FindWithoutInsert) {
+  Vocabulary v;
+  v.GetOrAdd("x");
+  EXPECT_EQ(v.Find("x"), 0u);
+  EXPECT_EQ(v.Find("y"), Vocabulary::kNotFound);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(Vocabulary, WordOfRoundTrips) {
+  Vocabulary v;
+  v.GetOrAdd("topic");
+  v.GetOrAdd("model");
+  EXPECT_EQ(v.WordOf(0), "topic");
+  EXPECT_EQ(v.WordOf(1), "model");
+  EXPECT_THROW(v.WordOf(2), Error);
+}
+
+TEST(Vocabulary, StreamRoundTrip) {
+  Vocabulary v;
+  v.GetOrAdd("one");
+  v.GetOrAdd("two");
+  v.GetOrAdd("three");
+  std::stringstream buf;
+  v.WriteTo(buf);
+  const Vocabulary parsed = Vocabulary::FromStream(buf);
+  ASSERT_EQ(parsed.size(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.WordOf(i), v.WordOf(i));
+  }
+}
+
+TEST(Vocabulary, FromStreamHandlesCrlfAndBlankLines) {
+  std::istringstream in("one\r\n\ntwo\n");
+  const Vocabulary v = Vocabulary::FromStream(in);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.WordOf(0), "one");
+  EXPECT_EQ(v.WordOf(1), "two");
+}
+
+TEST(Vocabulary, FromStreamRejectsDuplicates) {
+  std::istringstream in("dup\ndup\n");
+  EXPECT_THROW(Vocabulary::FromStream(in), Error);
+}
+
+// -------------------------------------------------------------- pipeline --
+
+TEST(TextPipeline, TokenizesLowercaseAlnumRuns) {
+  TextPipelineOptions opts;
+  const auto tokens =
+      TextPipeline::Tokenize("Hello, World! C++20 is great", opts);
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"hello", "world", "20", "is",
+                                      "great"}));
+}
+
+TEST(TextPipeline, MinWordLengthFilters) {
+  TextPipelineOptions opts;
+  opts.min_word_length = 3;
+  const auto tokens = TextPipeline::Tokenize("a an the cat sat on mat", opts);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"the", "cat", "sat", "mat"}));
+}
+
+TEST(TextPipeline, StopwordsFiltered) {
+  TextPipelineOptions opts;
+  opts.stopwords = {"the", "cat"};
+  const auto tokens = TextPipeline::Tokenize("the cat sat", opts);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"sat"}));
+}
+
+TEST(TextPipeline, CaseSensitiveMode) {
+  TextPipelineOptions opts;
+  opts.lowercase = false;
+  const auto tokens = TextPipeline::Tokenize("Cat cat", opts);
+  EXPECT_EQ(tokens, (std::vector<std::string>{"Cat", "cat"}));
+}
+
+TEST(TextPipeline, BuildProducesValidCorpus) {
+  TextPipeline pipeline;
+  pipeline.AddDocument("the quick brown fox jumps");
+  pipeline.AddDocument("the lazy dog sleeps");
+  pipeline.AddDocument("");
+  const auto result = pipeline.Build();
+  result.corpus.Validate();
+  EXPECT_EQ(result.corpus.num_docs(), 3u);
+  EXPECT_EQ(result.corpus.DocLength(2), 0u);
+  EXPECT_EQ(result.vocabulary.size(), result.corpus.vocab_size());
+  // "the" appears in both docs and maps to one id.
+  const uint32_t the_id = result.vocabulary.Find("the");
+  ASSERT_NE(the_id, Vocabulary::kNotFound);
+  EXPECT_EQ(result.corpus.WordFrequencies()[the_id], 2u);
+}
+
+TEST(TextPipeline, MinWordCountPrunesRareWords) {
+  TextPipelineOptions opts;
+  opts.min_word_count = 2;
+  TextPipeline pipeline(opts);
+  pipeline.AddDocument("common common rare");
+  pipeline.AddDocument("common unique");
+  const auto result = pipeline.Build();
+  EXPECT_EQ(result.vocabulary.Find("rare"), Vocabulary::kNotFound);
+  EXPECT_EQ(result.vocabulary.Find("unique"), Vocabulary::kNotFound);
+  ASSERT_NE(result.vocabulary.Find("common"), Vocabulary::kNotFound);
+  EXPECT_EQ(result.dropped_tokens, 2u);
+  EXPECT_EQ(result.corpus.num_tokens(), 3u);
+}
+
+TEST(TextPipeline, StreamAddsOneDocPerLine) {
+  TextPipeline pipeline;
+  std::istringstream in("doc one here\ndoc two here\n");
+  EXPECT_EQ(pipeline.AddDocumentsFromStream(in), 2u);
+  EXPECT_EQ(pipeline.num_documents(), 2u);
+}
+
+TEST(TextPipeline, DefaultStopwordsDropGlueWords) {
+  TextPipelineOptions opts;
+  opts.stopwords = TextPipelineOptions::DefaultEnglishStopwords();
+  TextPipeline pipeline(opts);
+  pipeline.AddDocument("the model is trained on the corpus");
+  const auto result = pipeline.Build();
+  EXPECT_EQ(result.vocabulary.Find("the"), Vocabulary::kNotFound);
+  EXPECT_NE(result.vocabulary.Find("model"), Vocabulary::kNotFound);
+  EXPECT_NE(result.vocabulary.Find("trained"), Vocabulary::kNotFound);
+}
+
+TEST(TextPipeline, EmptyBuildRejected) {
+  TextPipeline pipeline;
+  pipeline.AddDocument("");
+  EXPECT_THROW(pipeline.Build(), Error);
+}
+
+TEST(TextPipeline, BuildIsRepeatableAndIncremental) {
+  TextPipeline pipeline;
+  pipeline.AddDocument("first doc");
+  const auto r1 = pipeline.Build();
+  pipeline.AddDocument("second doc");
+  const auto r2 = pipeline.Build();
+  EXPECT_EQ(r1.corpus.num_docs(), 1u);
+  EXPECT_EQ(r2.corpus.num_docs(), 2u);
+  EXPECT_EQ(r2.corpus.WordFrequencies()[r2.vocabulary.Find("doc")], 2u);
+}
+
+}  // namespace
+}  // namespace culda::corpus

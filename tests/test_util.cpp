@@ -1,0 +1,302 @@
+// Unit tests for src/util: Philox RNG, prefix sums, CLI flags, thread pool,
+// checks, and the table printer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/philox.hpp"
+#include "util/prefix_sum.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace culda {
+namespace {
+
+// ---------------------------------------------------------------- Philox --
+
+TEST(Philox, DeterministicAcrossInstances) {
+  PhiloxStream a(123, 7);
+  PhiloxStream b(123, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU32(), b.NextU32());
+  }
+}
+
+TEST(Philox, DistinctStreamsDiffer) {
+  PhiloxStream a(123, 7);
+  PhiloxStream b(123, 8);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Philox, DistinctSeedsDiffer) {
+  PhiloxStream a(1, 0);
+  PhiloxStream b(2, 0);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU32() == b.NextU32()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Philox, DoubleInUnitInterval) {
+  PhiloxStream rng(99, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Philox, FloatInUnitInterval) {
+  PhiloxStream rng(99, 1);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.NextFloat();
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+}
+
+TEST(Philox, UniformMean) {
+  PhiloxStream rng(42, 0);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Philox, NextBelowRange) {
+  PhiloxStream rng(5, 3);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(Philox, NextBelowCoversAllValues) {
+  PhiloxStream rng(5, 4);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBelow(16));
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Philox, NextBelowApproximatelyUniform) {
+  PhiloxStream rng(77, 0);
+  std::map<uint32_t, int> hist;
+  const int n = 160000, buckets = 8;
+  for (int i = 0; i < n; ++i) ++hist[rng.NextBelow(buckets)];
+  for (const auto& [k, c] : hist) {
+    EXPECT_NEAR(static_cast<double>(c), n / buckets, n / buckets * 0.05)
+        << "bucket " << k;
+  }
+}
+
+TEST(Philox, BitBalance) {
+  // Each of the 32 output bits should be ~50% ones.
+  PhiloxStream rng(2024, 11);
+  int ones[32] = {};
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint32_t v = rng.NextU32();
+    for (int b = 0; b < 32; ++b) ones[b] += (v >> b) & 1;
+  }
+  for (int b = 0; b < 32; ++b) {
+    EXPECT_NEAR(ones[b], n / 2, n * 0.02) << "bit " << b;
+  }
+}
+
+// ------------------------------------------------------------ prefix sum --
+
+TEST(PrefixSum, InclusiveScanBasic) {
+  std::vector<int> v{1, 2, 3, 4};
+  InclusiveScan(std::span<int>(v));
+  EXPECT_EQ(v, (std::vector<int>{1, 3, 6, 10}));
+}
+
+TEST(PrefixSum, ExclusiveScanReturnsTotal) {
+  std::vector<int> in{5, 0, 2, 7};
+  std::vector<int> out(4);
+  const int total =
+      ExclusiveScan(std::span<const int>(in), std::span<int>(out));
+  EXPECT_EQ(total, 14);
+  EXPECT_EQ(out, (std::vector<int>{0, 5, 5, 7}));
+}
+
+TEST(PrefixSum, EmptyScansAreNoops) {
+  std::vector<int> v;
+  InclusiveScan(std::span<int>(v));
+  EXPECT_TRUE(v.empty());
+  std::vector<int> out;
+  EXPECT_EQ(ExclusiveScan(std::span<const int>(v), std::span<int>(out)), 0);
+}
+
+TEST(PrefixSum, UpperBoundSearchFindsFirstGreater) {
+  std::vector<double> prefix{0.1, 0.3, 0.3, 0.9, 1.0};
+  EXPECT_EQ(UpperBoundSearch<double>(prefix, 0.0), 0u);
+  EXPECT_EQ(UpperBoundSearch<double>(prefix, 0.1), 1u);
+  EXPECT_EQ(UpperBoundSearch<double>(prefix, 0.25), 1u);
+  EXPECT_EQ(UpperBoundSearch<double>(prefix, 0.3), 3u);
+  EXPECT_EQ(UpperBoundSearch<double>(prefix, 0.95), 4u);
+}
+
+TEST(PrefixSum, UpperBoundSearchClampsAtTop) {
+  std::vector<double> prefix{0.5, 1.0};
+  EXPECT_EQ(UpperBoundSearch<double>(prefix, 1.0), 1u);
+  EXPECT_EQ(UpperBoundSearch<double>(prefix, 2.0), 1u);
+}
+
+// ------------------------------------------------------------------- CLI --
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--k=256", "--name=volta"};
+  CliFlags flags(3, argv);
+  EXPECT_EQ(flags.GetInt("k", 0), 256);
+  EXPECT_EQ(flags.GetString("name", ""), "volta");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--iters", "50"};
+  CliFlags flags(3, argv);
+  EXPECT_EQ(flags.GetInt("iters", 0), 50);
+}
+
+TEST(Cli, BooleanForms) {
+  const char* argv[] = {"prog", "--fast", "--no-verify"};
+  CliFlags flags(3, argv);
+  EXPECT_TRUE(flags.GetBool("fast", false));
+  EXPECT_FALSE(flags.GetBool("verify", true));
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  CliFlags flags(1, argv);
+  EXPECT_EQ(flags.GetInt("k", 42), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 1.5), 1.5);
+  EXPECT_FALSE(flags.Has("k"));
+}
+
+TEST(Cli, PositionalArgsCollected) {
+  const char* argv[] = {"prog", "a.txt", "--k=1", "b.txt"};
+  CliFlags flags(4, argv);
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"a.txt", "b.txt"}));
+}
+
+TEST(Cli, MalformedIntegerThrows) {
+  const char* argv[] = {"prog", "--k=abc"};
+  CliFlags flags(2, argv);
+  EXPECT_THROW(flags.GetInt("k", 0), Error);
+}
+
+TEST(Cli, UnusedFlagsReported) {
+  const char* argv[] = {"prog", "--typo=1", "--used=2"};
+  CliFlags flags(3, argv);
+  flags.GetInt("used", 0);
+  EXPECT_EQ(flags.UnusedFlags(), std::vector<std::string>{"typo"});
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--scale=0.25"};
+  CliFlags flags(2, argv);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.25);
+}
+
+// ----------------------------------------------------------------- check --
+
+TEST(Check, PassingCheckDoesNothing) {
+  EXPECT_NO_THROW(CULDA_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsWithLocation) {
+  try {
+    CULDA_CHECK(false);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    CULDA_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+// ----------------------------------------------------------- thread pool --
+
+TEST(ThreadPool, InlineModeRunsEverything) {
+  ThreadPool pool(0);
+  std::vector<int> hits(100, 0);
+  pool.ParallelFor(100, [&](size_t i) { hits[i] = 1; });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, WorkersRunEverything) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.ParallelFor(10,
+                       [&](size_t i) {
+                         if (i == 5) throw Error("boom");
+                       }),
+      Error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.ParallelFor(50, [&](size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, ZeroItemsIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [&](size_t) { FAIL(); });
+}
+
+// ----------------------------------------------------------------- table --
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "12345"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("| name  |"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+}
+
+TEST(TextTable, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), Error);
+}
+
+TEST(TextTable, NumFormatsSignificantDigits) {
+  EXPECT_EQ(TextTable::Num(3.14159, 3), "3.14");
+  EXPECT_EQ(TextTable::Num(1234567.0, 4), "1.235e+06");
+}
+
+}  // namespace
+}  // namespace culda

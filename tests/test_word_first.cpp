@@ -1,0 +1,140 @@
+// Tests for the word-first chunk layout and block work lists (Figure 6).
+#include <gtest/gtest.h>
+
+#include "corpus/chunking.hpp"
+#include "corpus/synthetic.hpp"
+#include "corpus/word_first.hpp"
+
+namespace culda::corpus {
+namespace {
+
+Corpus TestCorpus() {
+  SyntheticProfile p;
+  p.num_docs = 300;
+  p.vocab_size = 400;
+  p.avg_doc_length = 50;
+  return GenerateCorpus(p);
+}
+
+class WordFirstOverChunks : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(WordFirstOverChunks, LayoutValidatesAgainstCorpus) {
+  const Corpus c = TestCorpus();
+  const auto chunks = PartitionByTokens(c, GetParam());
+  for (const auto& spec : chunks) {
+    const WordFirstChunk wf = BuildWordFirstChunk(c, spec);
+    wf.Validate(c);  // throws on any inconsistency
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkCounts, WordFirstOverChunks,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(WordFirst, TokensSortedByWord) {
+  const Corpus c = TestCorpus();
+  const auto wf = BuildWordFirstChunk(c, PartitionByTokens(c, 1)[0]);
+  for (uint64_t t = 1; t < wf.num_tokens(); ++t) {
+    EXPECT_LE(wf.token_word[t - 1], wf.token_word[t]);
+  }
+}
+
+TEST(WordFirst, DocMapCoversEveryTokenOnce) {
+  const Corpus c = TestCorpus();
+  const auto wf = BuildWordFirstChunk(c, PartitionByTokens(c, 1)[0]);
+  std::vector<int> seen(wf.num_tokens(), 0);
+  for (const uint32_t t : wf.doc_map) ++seen[t];
+  for (const int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(WordFirst, DocMapLengthsMatchDocLengths) {
+  const Corpus c = TestCorpus();
+  const auto spec = PartitionByTokens(c, 2)[1];
+  const auto wf = BuildWordFirstChunk(c, spec);
+  for (uint64_t d = 0; d < wf.num_docs(); ++d) {
+    EXPECT_EQ(wf.doc_map_offsets[d + 1] - wf.doc_map_offsets[d],
+              c.DocLength(spec.doc_begin + d));
+  }
+}
+
+TEST(WordFirst, EmptyChunk) {
+  const Corpus c(5, {0, 1}, {2});
+  ChunkSpec empty{0, 1, 1, 1, 1};
+  const auto wf = BuildWordFirstChunk(c, empty);
+  EXPECT_EQ(wf.num_tokens(), 0u);
+  EXPECT_EQ(wf.word_offsets.back(), 0u);
+}
+
+TEST(WordFirst, DeviceBytesIsPositiveAndScales) {
+  const Corpus c = TestCorpus();
+  const auto one = BuildWordFirstChunk(c, PartitionByTokens(c, 1)[0]);
+  const auto half = BuildWordFirstChunk(c, PartitionByTokens(c, 2)[0]);
+  EXPECT_GT(one.DeviceBytes(), half.DeviceBytes());
+}
+
+// ------------------------------------------------------- block work list --
+
+TEST(BlockWork, CoversEveryTokenExactlyOnce) {
+  const Corpus c = TestCorpus();
+  const auto wf = BuildWordFirstChunk(c, PartitionByTokens(c, 1)[0]);
+  const auto work = BuildBlockWorkList(wf, 64);
+  std::vector<int> covered(wf.num_tokens(), 0);
+  for (const auto& bw : work) {
+    for (uint64_t t = bw.token_begin; t < bw.token_end; ++t) {
+      ++covered[t];
+      EXPECT_EQ(wf.token_word[t], bw.word);
+    }
+  }
+  for (const int s : covered) EXPECT_EQ(s, 1);
+}
+
+TEST(BlockWork, RespectsMaxTokensPerBlock) {
+  const Corpus c = TestCorpus();
+  const auto wf = BuildWordFirstChunk(c, PartitionByTokens(c, 1)[0]);
+  for (const uint64_t cap : {1ull, 7ull, 64ull, 100000ull}) {
+    for (const auto& bw : BuildBlockWorkList(wf, cap)) {
+      EXPECT_LE(bw.size(), cap);
+      EXPECT_GT(bw.size(), 0u);
+    }
+  }
+}
+
+TEST(BlockWork, HeaviestBlocksFirst) {
+  // The paper schedules heavy words to the smallest block ids to avoid the
+  // long-tail effect.
+  const Corpus c = TestCorpus();
+  const auto wf = BuildWordFirstChunk(c, PartitionByTokens(c, 1)[0]);
+  const auto work = BuildBlockWorkList(wf, 1 << 20);
+  for (size_t i = 1; i < work.size(); ++i) {
+    EXPECT_GE(work[i - 1].size(), work[i].size());
+  }
+}
+
+TEST(BlockWork, HeavyWordSplitsIntoMultipleBlocks) {
+  // A corpus where word 0 has 100 tokens and cap is 30 → 4 blocks.
+  std::vector<uint32_t> words(100, 0);
+  words.push_back(1);
+  const uint64_t total = words.size();
+  const Corpus c(2, {0, total}, std::move(words));
+  const auto wf = BuildWordFirstChunk(c, PartitionByTokens(c, 1)[0]);
+  const auto work = BuildBlockWorkList(wf, 30);
+  int word0_blocks = 0;
+  for (const auto& bw : work) {
+    if (bw.word == 0) ++word0_blocks;
+  }
+  EXPECT_EQ(word0_blocks, 4);
+}
+
+TEST(BlockWork, DeterministicOrder) {
+  const Corpus c = TestCorpus();
+  const auto wf = BuildWordFirstChunk(c, PartitionByTokens(c, 1)[0]);
+  const auto a = BuildBlockWorkList(wf, 64);
+  const auto b = BuildBlockWorkList(wf, 64);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].word, b[i].word);
+    EXPECT_EQ(a[i].token_begin, b[i].token_begin);
+  }
+}
+
+}  // namespace
+}  // namespace culda::corpus

@@ -1,0 +1,89 @@
+// culda_infer — classify new documents with a trained model.
+//
+//   echo "text of a new document" | culda_infer --model=m.bin --vocab=v.txt
+//   culda_infer --model=m.bin --heldout-uci=docword.txt   # perplexity
+//
+// With --vocab, each stdin line is tokenized (same pipeline as training) and
+// its topic mixture printed. With --heldout-uci, document-completion
+// perplexity over the held-out corpus is reported instead.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "core/inference.hpp"
+#include "core/model_io.hpp"
+#include "corpus/text_pipeline.hpp"
+#include "corpus/uci_reader.hpp"
+#include "corpus/vocabulary.hpp"
+#include "util/cli.hpp"
+
+using namespace culda;
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    const std::string model_path = flags.GetString("model", "");
+    CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
+    const core::GatheredModel model = core::LoadModelFromFile(model_path);
+
+    core::CuldaConfig cfg;
+    cfg.num_topics = model.num_topics;
+    cfg.alpha = flags.GetDouble("alpha", -1.0);
+    cfg.beta = flags.GetDouble("beta", 0.01);
+    const uint32_t iters =
+        static_cast<uint32_t>(flags.GetInt("iters", 30));
+    const core::InferenceEngine engine(model, cfg);
+
+    const std::string heldout = flags.GetString("heldout-uci", "");
+    const std::string vocab_path = flags.GetString("vocab", "");
+
+    const auto unused = flags.UnusedFlags();
+    if (!unused.empty()) {
+      std::fprintf(stderr, "unknown flag --%s\n", unused.front().c_str());
+      return 2;
+    }
+
+    if (!heldout.empty()) {
+      const corpus::Corpus ho = corpus::ReadUciBagOfWordsFile(heldout);
+      std::printf("document-completion perplexity: %.3f\n",
+                  engine.DocumentCompletionPerplexity(ho, iters));
+      return 0;
+    }
+
+    CULDA_CHECK_MSG(!vocab_path.empty(),
+                    "--vocab is required for text inference");
+    std::ifstream vin(vocab_path);
+    CULDA_CHECK_MSG(vin.good(), "cannot open vocab " << vocab_path);
+    const corpus::Vocabulary vocab = corpus::Vocabulary::FromStream(vin);
+
+    corpus::TextPipelineOptions popts;
+    popts.stopwords =
+        corpus::TextPipelineOptions::DefaultEnglishStopwords();
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      std::vector<uint32_t> ids;
+      size_t oov = 0;
+      for (const auto& tok : corpus::TextPipeline::Tokenize(line, popts)) {
+        const uint32_t id = vocab.Find(tok);
+        if (id == corpus::Vocabulary::kNotFound || id >= model.vocab_size) {
+          ++oov;
+        } else {
+          ids.push_back(id);
+        }
+      }
+      const auto result = engine.InferDocument(ids, iters);
+      std::printf("%zu tokens (%zu OOV):", ids.size(), oov);
+      int shown = 0;
+      for (const auto& dt : result.mixture) {
+        if (dt.proportion < 0.05 || shown >= 5) break;
+        std::printf(" topic%u=%.2f", dt.topic, dt.proportion);
+        ++shown;
+      }
+      std::printf("\n");
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,93 @@
+// culda_topics — inspect a trained model.
+//
+//   culda_topics --model=model.bin [--vocab=vocab.txt] [--top=10]
+//                [--topics=N] [--coherence-uci=docword.txt]
+//
+// Prints the largest topics with their top words (vocabulary strings when
+// --vocab is given, ids otherwise), and optionally UMass coherence against a
+// reference corpus.
+#include <cstdio>
+#include <fstream>
+
+#include "core/model_io.hpp"
+#include "core/topics.hpp"
+#include "corpus/uci_reader.hpp"
+#include "corpus/vocabulary.hpp"
+#include "util/cli.hpp"
+
+using namespace culda;
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+    const std::string model_path = flags.GetString("model", "");
+    CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
+    const core::GatheredModel model =
+        core::LoadModelFromFile(model_path);
+
+    corpus::Vocabulary vocab;
+    const std::string vocab_path = flags.GetString("vocab", "");
+    if (!vocab_path.empty()) {
+      std::ifstream in(vocab_path);
+      CULDA_CHECK_MSG(in.good(), "cannot open vocab " << vocab_path);
+      vocab = corpus::Vocabulary::FromStream(in);
+      CULDA_CHECK_MSG(vocab.size() == model.vocab_size,
+                      "vocabulary size " << vocab.size()
+                                         << " != model vocab "
+                                         << model.vocab_size);
+    }
+
+    core::CuldaConfig cfg;
+    cfg.num_topics = model.num_topics;
+    const size_t top_n = static_cast<size_t>(flags.GetInt("top", 10));
+    const size_t show =
+        static_cast<size_t>(flags.GetInt("topics", 20));
+
+    const std::string coherence_uci = flags.GetString("coherence-uci", "");
+    corpus::Corpus reference;
+    const bool with_coherence = !coherence_uci.empty();
+    if (with_coherence) {
+      reference = corpus::ReadUciBagOfWordsFile(coherence_uci);
+    }
+
+    const auto unused = flags.UnusedFlags();
+    if (!unused.empty()) {
+      std::fprintf(stderr, "unknown flag --%s\n", unused.front().c_str());
+      return 2;
+    }
+
+    std::printf("model: K=%u V=%u D=%llu, theta nnz=%zu\n\n",
+                model.num_topics, model.vocab_size,
+                static_cast<unsigned long long>(model.num_docs),
+                model.theta.nnz());
+
+    const auto sizes = core::TopicsBySize(model);
+    for (size_t i = 0; i < std::min(show, sizes.size()); ++i) {
+      const auto [k, nk] = sizes[i];
+      if (nk == 0) break;
+      std::printf("topic %4u  (%9lld tokens", k,
+                  static_cast<long long>(nk));
+      if (with_coherence) {
+        std::printf(", coherence %.2f",
+                    core::UMassCoherence(model, cfg, reference, k, top_n));
+      }
+      std::printf("):");
+      for (const auto& tw : core::TopWords(model, cfg, k, top_n)) {
+        if (vocab.empty()) {
+          std::printf(" w%u(%.3f)", tw.word, tw.probability);
+        } else {
+          std::printf(" %s", vocab.WordOf(tw.word).c_str());
+        }
+      }
+      std::printf("\n");
+    }
+    if (with_coherence) {
+      std::printf("\naverage UMass coherence (top %zu words): %.3f\n", top_n,
+                  core::AverageCoherence(model, cfg, reference, top_n));
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

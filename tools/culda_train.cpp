@@ -1,0 +1,138 @@
+// culda_train — train an LDA model from the command line.
+//
+//   culda_train --uci=docword.nytimes.txt --topics=1024 --iters=100
+//               --device=volta --gpus=4 --out=model.bin
+//   culda_train --synthetic=pubmed --scale=0.001 --topics=256 ...
+//
+// Flags:
+//   --uci=PATH          UCI bag-of-words input (NYTimes/PubMed format)
+//   --synthetic=NAME    nytimes | pubmed profile instead of a file
+//   --scale=X           synthetic profile scale (default 0.01)
+//   --topics=K          number of topics (default 256)
+//   --alpha, --beta     hyper-parameters (defaults: 50/K, 0.01)
+//   --iters=N           training iterations (default 100)
+//   --device=NAME       titan | pascal | volta | cpu (default volta)
+//   --gpus=G            simulated GPU count (default 1)
+//   --chunks-per-gpu=M  override the automatic WS1/WS2 choice
+//   --hyperopt=N        re-estimate α/β every N iterations (default off)
+//   --out=PATH          save the trained model
+//   --checkpoint=PATH   write a checkpoint after every --checkpoint-every
+//   --resume=PATH       restore a checkpoint before training
+//   --quiet             suppress per-iteration logging
+#include <cstdio>
+#include <fstream>
+
+#include "core/inference.hpp"
+#include "core/model_io.hpp"
+#include "core/trainer.hpp"
+#include "corpus/split.hpp"
+#include "corpus/synthetic.hpp"
+#include "corpus/uci_reader.hpp"
+#include "util/cli.hpp"
+
+using namespace culda;
+
+int main(int argc, char** argv) {
+  try {
+    const CliFlags flags(argc, argv);
+
+    corpus::Corpus corpus = [&] {
+      const std::string uci = flags.GetString("uci", "");
+      if (!uci.empty()) return corpus::ReadUciBagOfWordsFile(uci);
+      const std::string name = flags.GetString("synthetic", "nytimes");
+      const double scale = flags.GetDouble("scale", 0.01);
+      corpus::SyntheticProfile profile =
+          name == "pubmed" ? corpus::PubMedProfile(scale)
+                           : corpus::NyTimesProfile(scale);
+      return corpus::GenerateCorpus(profile);
+    }();
+
+    // Optional held-out split for end-of-training perplexity.
+    const double heldout_frac = flags.GetDouble("heldout-frac", 0.0);
+    corpus::Corpus heldout;
+    if (heldout_frac > 0) {
+      auto split = corpus::SplitByDocuments(corpus, heldout_frac);
+      corpus = std::move(split.train);
+      heldout = std::move(split.heldout);
+      std::printf("held out %zu documents for evaluation\n",
+                  heldout.num_docs());
+    }
+    std::printf("%s\n", corpus.Summary("corpus").c_str());
+
+    core::CuldaConfig cfg;
+    cfg.num_topics = static_cast<uint32_t>(flags.GetInt("topics", 256));
+    cfg.alpha = flags.GetDouble("alpha", -1.0);
+    cfg.beta = flags.GetDouble("beta", 0.01);
+    cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
+
+    core::TrainerOptions opts;
+    opts.gpus.assign(
+        flags.GetInt("gpus", 1),
+        gpusim::SpecByName(flags.GetString("device", "volta")));
+    opts.chunks_per_gpu =
+        static_cast<uint32_t>(flags.GetInt("chunks-per-gpu", 0));
+    opts.hyperopt_interval =
+        static_cast<uint32_t>(flags.GetInt("hyperopt", 0));
+
+    const int iters = static_cast<int>(flags.GetInt("iters", 100));
+    const bool quiet = flags.GetBool("quiet", false);
+    const std::string out_path = flags.GetString("out", "");
+    const std::string ckpt_path = flags.GetString("checkpoint", "");
+    const int ckpt_every = static_cast<int>(flags.GetInt(
+        "checkpoint-every", 10));
+    const std::string resume = flags.GetString("resume", "");
+
+    const auto unused = flags.UnusedFlags();
+    if (!unused.empty()) {
+      std::fprintf(stderr, "unknown flag --%s\n", unused.front().c_str());
+      return 2;
+    }
+
+    core::CuldaTrainer trainer(corpus, cfg, opts);
+    if (!resume.empty()) {
+      std::ifstream in(resume, std::ios::binary);
+      CULDA_CHECK_MSG(in.good(), "cannot open checkpoint " << resume);
+      trainer.RestoreCheckpoint(in);
+      std::printf("resumed from %s at iteration %u\n", resume.c_str(),
+                  trainer.iteration());
+    }
+    std::printf("%zu x %s | M=%u (%s)\n", opts.gpus.size(),
+                opts.gpus[0].name.c_str(), trainer.chunks_per_gpu(),
+                trainer.chunks_per_gpu() == 1 ? "WorkSchedule1"
+                                              : "WorkSchedule2");
+
+    double sim_total = 0;
+    for (int i = 0; i < iters; ++i) {
+      const auto st = trainer.Step();
+      sim_total += st.sim_seconds;
+      if (!quiet && (i % 10 == 0 || i + 1 == iters)) {
+        std::printf("iter %4u  %8.1f Mtok/s  ll/token %.4f\n",
+                    st.iteration, st.tokens_per_sec / 1e6,
+                    trainer.LogLikelihoodPerToken());
+      }
+      if (!ckpt_path.empty() && (i + 1) % ckpt_every == 0) {
+        std::ofstream out(ckpt_path, std::ios::binary);
+        trainer.SaveCheckpoint(out);
+      }
+    }
+    std::printf("done: %d iterations, %.3f simulated seconds total\n", iters,
+                sim_total);
+
+    if (heldout_frac > 0) {
+      const core::InferenceEngine engine(trainer.Gather(),
+                                         trainer.config());
+      std::printf("held-out document-completion perplexity: %.3f\n",
+                  engine.DocumentCompletionPerplexity(heldout));
+    }
+    if (!out_path.empty()) {
+      const auto model = trainer.Gather();
+      model.Validate(corpus);
+      core::SaveModelToFile(model, out_path);
+      std::printf("model saved to %s\n", out_path.c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
