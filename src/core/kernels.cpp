@@ -1,5 +1,6 @@
 #include "core/kernels.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <vector>
 
@@ -24,10 +25,23 @@ constexpr double kStreamMemDerate = 1.0;     // pure streaming kernels
 struct SamplerScratch {
   std::vector<float> pstar;
   std::vector<float> p2_tree;
+  std::vector<float> p2_vals;
   std::vector<float> p1_vals;
   std::vector<float> p1_spill;
 };
 thread_local SamplerScratch tl_scratch;
+
+/// Scratch for the host-side θ rebuild in RunUpdateThetaKernel. `dense` is
+/// kept all-zero between documents (and between kernel calls) by resetting
+/// only the touched entries, so rebuild cost scales with the chunk's tokens
+/// and distinct topics, never with K.
+struct UpdateThetaScratch {
+  std::vector<int32_t> dense;     ///< K slots, all zero at rest
+  std::vector<uint16_t> touched;  ///< topics hit by the current document
+  std::vector<uint16_t> idx;
+  std::vector<int32_t> val;
+};
+thread_local UpdateThetaScratch tl_theta_scratch;
 
 /// Tree storage bound either to the block's shared arena or, when the arena
 /// is exhausted (large K / long rows), to heap scratch billed as global
@@ -126,7 +140,7 @@ gpusim::KernelRecord RunSamplingKernel(gpusim::Device& device,
     float q_mass = 0;
     {
       // p2(k) = α_k · p*(k) (α_k constant under the symmetric default).
-      std::vector<float>& p2_vals = scratch.p1_vals;  // reuse as temp
+      std::vector<float>& p2_vals = scratch.p2_vals;
       if (p2_vals.size() < K) p2_vals.resize(K);
       if (cfg.asymmetric_alpha.empty()) {
         for (uint32_t k = 0; k < K; ++k) p2_vals[k] = alpha * pstar[k];
@@ -364,29 +378,33 @@ gpusim::KernelRecord RunUpdateThetaKernel(gpusim::Device& device,
   // Functional rebuild first (exact, document order — the real kernel's
   // two-pass count/scan/fill produces exactly this matrix); the launch below
   // then bills the traffic the dense-scatter + compaction kernel would move,
-  // using the rebuilt matrix's true nnz.
+  // using the rebuilt matrix's true nnz. The host rebuild walks a touched-
+  // topic list instead of scanning all K counters per document, so its cost
+  // is O(tokens + Σ_d k_d log k_d), not O(docs · K); the *billed* traffic
+  // below still models the dense zero-and-scan the real kernel performs.
   {
     ThetaMatrix fresh(num_docs, K);
     ThetaMatrix::RowBuilder builder(&fresh);
-    std::vector<int32_t> dense(K, 0);
-    std::vector<uint16_t> idx;
-    std::vector<int32_t> val;
+    UpdateThetaScratch& scratch = tl_theta_scratch;
+    if (scratch.dense.size() < K) scratch.dense.assign(K, 0);
     for (uint64_t d = 0; d < num_docs; ++d) {
-      idx.clear();
-      val.clear();
+      scratch.touched.clear();
+      scratch.idx.clear();
+      scratch.val.clear();
       for (uint64_t i = chunk.layout.doc_map_offsets[d];
            i < chunk.layout.doc_map_offsets[d + 1]; ++i) {
-        const uint32_t t = chunk.layout.doc_map[i];
-        ++dense[chunk.z[t]];
+        const uint16_t k = chunk.z[chunk.layout.doc_map[i]];
+        if (scratch.dense[k]++ == 0) scratch.touched.push_back(k);
       }
-      for (uint32_t k = 0; k < K; ++k) {
-        if (dense[k] != 0) {
-          idx.push_back(static_cast<uint16_t>(k));
-          val.push_back(dense[k]);
-          dense[k] = 0;
-        }
+      // CSR rows store topics in ascending order; the touched list arrives
+      // in first-seen order, so sort it (k_d is small — θ is sparse).
+      std::sort(scratch.touched.begin(), scratch.touched.end());
+      for (const uint16_t k : scratch.touched) {
+        scratch.idx.push_back(k);
+        scratch.val.push_back(scratch.dense[k]);
+        scratch.dense[k] = 0;
       }
-      builder.AppendRow(d, idx, val);
+      builder.AppendRow(d, scratch.idx, scratch.val);
     }
     builder.Finish();
     chunk.theta = std::move(fresh);

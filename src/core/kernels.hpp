@@ -34,6 +34,20 @@ struct SamplingStepCounters {
   uint64_t tokens = 0;
   uint64_t p1_branches = 0;  ///< tokens resolved from the sparse bucket
   uint64_t p1_tree_spills = 0;  ///< p1 trees that did not fit shared memory
+
+  /// All-integer merge; the trainer reduces per-device partials with this in
+  /// fixed device order after a parallel step, so totals are exact and
+  /// order-independent.
+  SamplingStepCounters& operator+=(const SamplingStepCounters& o) {
+    compute_s += o.compute_s;
+    compute_q += o.compute_q;
+    sample_p1 += o.sample_p1;
+    sample_p2 += o.sample_p2;
+    tokens += o.tokens;
+    p1_branches += o.p1_branches;
+    p1_tree_spills += o.p1_tree_spills;
+    return *this;
+  }
 };
 
 /// Runs the sampling kernel over one chunk: reads θ/φ/n_k of the previous

@@ -34,7 +34,27 @@ uint64_t PhiFootprintBytes(const CuldaConfig& cfg, uint64_t vocab_size) {
          static_cast<uint64_t>(cfg.num_topics) * 4;
 }
 
+/// Per-device partial of one step, filled inside the device-parallel region
+/// and reduced into IterationStats in fixed device order afterwards, so the
+/// float sums never depend on thread interleaving.
+struct alignas(64) DevicePartial {
+  double sampling_s = 0;
+  double update_phi_s = 0;
+  double update_theta_s = 0;
+  SamplingStepCounters steps;
+};
+
 }  // namespace
+
+void CuldaTrainer::ForEachDevice(const std::function<void(size_t)>& fn) {
+  const size_t g_count = group_.size();
+  if (opts_.pool != nullptr && opts_.pool->worker_count() > 0 &&
+      g_count > 1) {
+    opts_.pool->ParallelFor(g_count, fn);
+  } else {
+    for (size_t g = 0; g < g_count; ++g) fn(g);
+  }
+}
 
 CuldaTrainer::CuldaTrainer(const corpus::Corpus& corpus, CuldaConfig cfg,
                            TrainerOptions opts)
@@ -143,8 +163,10 @@ void CuldaTrainer::InitializeModel() { RebuildCountsFromZ(); }
 
 void CuldaTrainer::RebuildCountsFromZ() {
   const uint32_t g_count = static_cast<uint32_t>(group_.size());
-  // Counts from the current assignment: θ per chunk, φ per device.
-  for (uint32_t g = 0; g < g_count; ++g) {
+  // Counts from the current assignment: θ per chunk, φ per device. Each
+  // device touches only its own chunks and replica, so the rebuild runs
+  // device-parallel up to the φ sync point.
+  ForEachDevice([&](size_t g) {
     gpusim::Device& dev = group_.device(g);
     RunZeroPhiKernel(dev, cfg_, replicas_[g]);
     for (uint32_t m = 0; m < m_; ++m) {
@@ -152,11 +174,11 @@ void CuldaTrainer::RebuildCountsFromZ() {
       RunUpdatePhiKernel(dev, cfg_, chunk, replicas_[g]);
       RunUpdateThetaKernel(dev, cfg_, chunk);
     }
-  }
+  });
   SynchronizePhi(group_, cfg_, replicas_, opts_.sync_mode);
-  for (uint32_t g = 0; g < g_count; ++g) {
+  ForEachDevice([&](size_t g) {
     RunComputeNkKernel(group_.device(g), cfg_, replicas_[g]);
-  }
+  });
   group_.Barrier();
 }
 
@@ -184,6 +206,10 @@ IterationStats CuldaTrainer::Step() {
   for (const auto& chunk : chunks_) stats.theta_nnz += chunk.theta.nnz();
   stats.tokens_per_sec =
       static_cast<double>(corpus_->num_tokens()) / stats.sim_seconds;
+  stats.wall_tokens_per_sec =
+      stats.wall_seconds > 0
+          ? static_cast<double>(corpus_->num_tokens()) / stats.wall_seconds
+          : 0.0;
   for (size_t g = 0; g < group_.size(); ++g) {
     const double cur = group_.device(g).transfer_seconds();
     stats.transfer_s += cur - last_transfer_s_[g];
@@ -201,37 +227,46 @@ IterationStats CuldaTrainer::Step() {
 }
 
 void CuldaTrainer::StepWs1(IterationStats& stats) {
-  const uint32_t g_count = static_cast<uint32_t>(group_.size());
-  for (uint32_t g = 0; g < g_count; ++g) {
+  std::vector<DevicePartial> partials(group_.size());
+  ForEachDevice([&](size_t g) {
+    DevicePartial& part = partials[g];
     gpusim::Device& dev = group_.device(g);
     ChunkState& chunk = chunks_[g];
     gpusim::Stream& compute = dev.stream(0);
 
     const auto sampling = RunSamplingKernel(
         dev, cfg_, chunk, replicas_[g], iteration_ + 1, &compute,
-        opts_.collect_step_counters ? &steps_ : nullptr);
-    stats.sampling_s += sampling.time.total_s;
+        opts_.collect_step_counters ? &part.steps : nullptr);
+    part.sampling_s += sampling.time.total_s;
 
     // φ first, so its sync can start while θ updates (Section 6.2). New
     // counts accumulate into the double buffer; the read replica stays
     // intact for any chunk still sampling.
-    stats.update_phi_s +=
+    part.update_phi_s +=
         RunZeroPhiKernel(dev, cfg_, accum_[g], &compute).time.total_s;
-    stats.update_phi_s +=
+    part.update_phi_s +=
         RunUpdatePhiKernel(dev, cfg_, chunk, accum_[g], &compute)
             .time.total_s;
 
     gpusim::Stream& theta_stream =
         opts_.overlap_theta_with_sync ? dev.stream(1) : compute;
     theta_stream.WaitUntil(sampling.end_s);
-    stats.update_theta_s +=
+    part.update_theta_s +=
         RunUpdateThetaKernel(dev, cfg_, chunk, &theta_stream).time.total_s;
+  });
+  for (const DevicePartial& part : partials) {
+    stats.sampling_s += part.sampling_s;
+    stats.update_phi_s += part.update_phi_s;
+    stats.update_theta_s += part.update_theta_s;
+    steps_ += part.steps;
   }
 }
 
 void CuldaTrainer::StepWs2(IterationStats& stats) {
   const uint32_t g_count = static_cast<uint32_t>(group_.size());
-  for (uint32_t g = 0; g < g_count; ++g) {
+  std::vector<DevicePartial> partials(group_.size());
+  ForEachDevice([&](size_t g) {
+    DevicePartial& part = partials[g];
     gpusim::Device& dev = group_.device(g);
     gpusim::Stream& compute = dev.stream(0);
     // PCIe has independent DMA engines per direction: uploads ride stream 1,
@@ -242,7 +277,7 @@ void CuldaTrainer::StepWs2(IterationStats& stats) {
     gpusim::Stream& copy_down =
         opts_.overlap_transfers ? dev.stream(2) : compute;
 
-    stats.update_phi_s +=
+    part.update_phi_s +=
         RunZeroPhiKernel(dev, cfg_, accum_[g], &compute).time.total_s;
 
     for (uint32_t m = 0; m < m_; ++m) {
@@ -255,12 +290,12 @@ void CuldaTrainer::StepWs2(IterationStats& stats) {
 
       const auto sampling = RunSamplingKernel(
           dev, cfg_, chunk, replicas_[g], iteration_ + 1, &compute,
-          opts_.collect_step_counters ? &steps_ : nullptr);
-      stats.sampling_s += sampling.time.total_s;
-      stats.update_phi_s +=
+          opts_.collect_step_counters ? &part.steps : nullptr);
+      part.sampling_s += sampling.time.total_s;
+      part.update_phi_s +=
           RunUpdatePhiKernel(dev, cfg_, chunk, accum_[g], &compute)
               .time.total_s;
-      stats.update_theta_s +=
+      part.update_theta_s +=
           RunUpdateThetaKernel(dev, cfg_, chunk, &compute).time.total_s;
 
       // θ travels back on the download stream once the update finished.
@@ -272,6 +307,12 @@ void CuldaTrainer::StepWs2(IterationStats& stats) {
     }
     compute.WaitUntil(copy_down.ready_time());
     compute.WaitUntil(copy_up.ready_time());
+  });
+  for (const DevicePartial& part : partials) {
+    stats.sampling_s += part.sampling_s;
+    stats.update_phi_s += part.update_phi_s;
+    stats.update_theta_s += part.update_theta_s;
+    steps_ += part.steps;
   }
 }
 
@@ -280,11 +321,12 @@ void CuldaTrainer::SyncAndFinishIteration(IterationStats& stats) {
   stats.sync_s += sync.seconds;
   // The synchronized accumulators become the next iteration's read model.
   std::swap(replicas_, accum_);
-  for (size_t g = 0; g < group_.size(); ++g) {
-    stats.update_phi_s +=
-        RunComputeNkKernel(group_.device(g), cfg_, replicas_[g])
-            .time.total_s;
-  }
+  std::vector<double> nk_s(group_.size(), 0.0);
+  ForEachDevice([&](size_t g) {
+    nk_s[g] = RunComputeNkKernel(group_.device(g), cfg_, replicas_[g])
+                  .time.total_s;
+  });
+  for (const double s : nk_s) stats.update_phi_s += s;
   group_.Barrier();
 }
 

@@ -42,7 +42,11 @@ struct TrainerOptions {
   /// Run the θ update on a second stream so it overlaps the φ sync
   /// (Section 6.2's kernel ordering); off = serialize, for the ablation.
   bool overlap_theta_with_sync = true;
-  /// Optional worker pool for functional block execution.
+  /// Optional worker pool, shared by two levels of host parallelism: the
+  /// trainer runs independent simulated GPUs concurrently between sync
+  /// points, and each device runs its kernel's thread blocks on the same
+  /// pool (ThreadPool's parallel-for is nested-safe). Wall-clock only —
+  /// simulated times and model state are bit-identical with or without it.
   ThreadPool* pool = nullptr;
   /// Collect per-step traffic tallies (Table 1); small overhead.
   bool collect_step_counters = false;
@@ -59,7 +63,8 @@ struct IterationStats {
   uint32_t iteration = 0;
   double sim_seconds = 0;
   double wall_seconds = 0;
-  double tokens_per_sec = 0;  ///< corpus tokens / sim_seconds
+  double tokens_per_sec = 0;       ///< corpus tokens / sim_seconds
+  double wall_tokens_per_sec = 0;  ///< corpus tokens / wall_seconds (host)
   double sampling_s = 0;
   double update_theta_s = 0;
   double update_phi_s = 0;
@@ -134,6 +139,12 @@ class CuldaTrainer {
   void ChooseM();
   void BuildChunks();
   void InitializeModel();
+  /// Runs fn(g) for every device — concurrently on opts_.pool when one is
+  /// set (simulated GPUs are independent between sync points), sequentially
+  /// otherwise. Callers keep per-device partials and reduce them in fixed
+  /// device order after this returns, which is what keeps float sums (and
+  /// thus reported stats) independent of the execution interleaving.
+  void ForEachDevice(const std::function<void(size_t)>& fn);
   /// Rebuilds θ/φ/n_k from the current z (used at init and restore).
   void RebuildCountsFromZ();
   void StepWs1(IterationStats& stats);

@@ -1,7 +1,6 @@
 #include "gpusim/device.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 namespace culda::gpusim {
 
@@ -12,6 +11,19 @@ Device::Device(DeviceSpec spec, int device_id, ThreadPool* pool)
       pool_(pool),
       host_link_(Pcie3x16()) {
   streams_.push_back(std::make_unique<Stream>(this, 0));
+  // One scratch slot per thread that can ever execute a block of this
+  // device: the launching thread (slot 0) plus every pool worker. Sized up
+  // front so concurrent block execution never resizes the vector.
+  slots_.resize((pool_ != nullptr ? pool_->worker_count() : 0) + 1);
+}
+
+Device::WorkerSlot& Device::slot_for_current_thread() {
+  const int worker = pool_ != nullptr ? pool_->current_worker_id() : -1;
+  WorkerSlot& slot = slots_[static_cast<size_t>(worker + 1)];
+  if (slot.shared == nullptr) {
+    slot.shared = std::make_unique<SharedMemory>(spec_.shared_mem_per_block);
+  }
+  return slot;
 }
 
 void Device::Charge(uint64_t bytes, const std::string& tag) {
@@ -64,20 +76,25 @@ KernelRecord Device::Launch(const std::string& name, const LaunchConfig& cfg,
   if (stream == nullptr) stream = streams_[0].get();
 
   KernelCounters total;
-  if (pool_ != nullptr && pool_->worker_count() > 1 && cfg.grid_dim > 1) {
-    std::mutex merge_mutex;
+  if (pool_ != nullptr && pool_->worker_count() > 0 && cfg.grid_dim > 1) {
+    // Each executing thread accumulates into its own cache-line-isolated
+    // slot; the slots are merged once per launch, in fixed slot order.
+    // KernelCounters is all-integer, so the merge is exact regardless of
+    // which thread ran which block.
+    for (auto& slot : slots_) slot.partial = KernelCounters{};
     pool_->ParallelFor(cfg.grid_dim, [&](size_t b) {
-      SharedMemory shared(spec_.shared_mem_per_block);
-      BlockContext ctx(static_cast<uint32_t>(b), cfg, &shared);
+      WorkerSlot& slot = slot_for_current_thread();
+      slot.shared->Reset();
+      BlockContext ctx(static_cast<uint32_t>(b), cfg, slot.shared.get());
       body(ctx);
-      std::lock_guard<std::mutex> lock(merge_mutex);
-      total += ctx.counters();
+      slot.partial += ctx.counters();
     });
+    for (const auto& slot : slots_) total += slot.partial;
   } else {
-    SharedMemory shared(spec_.shared_mem_per_block);
+    WorkerSlot& slot = slot_for_current_thread();
     for (uint32_t b = 0; b < cfg.grid_dim; ++b) {
-      shared.Reset();
-      BlockContext ctx(b, cfg, &shared);
+      slot.shared->Reset();
+      BlockContext ctx(b, cfg, slot.shared.get());
       body(ctx);
       total += ctx.counters();
     }

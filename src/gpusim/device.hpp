@@ -113,6 +113,10 @@ class Device : public MemoryLedger {
   /// Launches a kernel on `stream`: runs `body` once per block (possibly in
   /// parallel across pool workers), bills the aggregated counters through
   /// the cost model, and advances the stream. Returns the launch record.
+  /// A Device is a single-owner object: at most one thread may be inside
+  /// Launch (or any stream operation) on a given device at a time — the
+  /// trainer's device-level parallelism satisfies this because each
+  /// simulated GPU is driven by exactly one task between sync points.
   KernelRecord Launch(const std::string& name, const LaunchConfig& cfg,
                       const KernelBody& body, Stream* stream = nullptr);
 
@@ -158,10 +162,21 @@ class Device : public MemoryLedger {
   const std::vector<KernelRecord>& trace() const { return trace_; }
 
  private:
+  /// Per-executing-thread scratch for Launch: a reusable shared-memory arena
+  /// plus a cache-line-isolated counter accumulator (slot 0 = the launching
+  /// thread, slots 1..W = pool workers). Arenas persist across launches so
+  /// the hot path never constructs one per block.
+  struct alignas(64) WorkerSlot {
+    std::unique_ptr<SharedMemory> shared;
+    KernelCounters partial;
+  };
+  WorkerSlot& slot_for_current_thread();
+
   DeviceSpec spec_;
   int device_id_;
   CostModel cost_;
   ThreadPool* pool_;
+  std::vector<WorkerSlot> slots_;
   LinkSpec host_link_;
   uint64_t allocated_bytes_ = 0;
   std::vector<std::unique_ptr<Stream>> streams_;

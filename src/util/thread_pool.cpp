@@ -1,16 +1,64 @@
 #include "util/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 #include "util/check.hpp"
 
 namespace culda {
 
+namespace {
+
+// Identity of the current thread within its owning pool; lets kernels map
+// any executing thread to a dense accumulator slot without locks.
+thread_local const ThreadPool* tl_pool = nullptr;
+thread_local int tl_worker_id = -1;
+
+/// Shared state of one RunShards call. Helper tasks hold it by shared_ptr:
+/// a task that wakes up after the call already returned (because the caller
+/// drained every shard itself) finds no shard to claim and exits without
+/// touching the caller's stack.
+struct ShardJob {
+  size_t shards = 0;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  const std::function<void(size_t)>* shard_fn = nullptr;  ///< valid while done < shards
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  /// Claims and runs shards until the counter is exhausted. Every claimed
+  /// shard is counted as done even if it throws, so `done == shards` is
+  /// reached unconditionally and the caller's wait always terminates.
+  void Drain() {
+    for (;;) {
+      const size_t s = next.fetch_add(1);
+      if (s >= shards) return;
+      try {
+        (*shard_fn)(s);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      size_t finished;
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        finished = ++done;
+      }
+      if (finished == shards) done_cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(size_t workers) {
   threads_.reserve(workers);
   for (size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -23,7 +71,13 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::WorkerLoop() {
+int ThreadPool::current_worker_id() const {
+  return tl_pool == this ? tl_worker_id : -1;
+}
+
+void ThreadPool::WorkerLoop(size_t worker_id) {
+  tl_pool = this;
+  tl_worker_id = static_cast<int>(worker_id);
   for (;;) {
     std::function<void()> task;
     {
@@ -37,6 +91,34 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+void ThreadPool::RunShards(size_t shards,
+                           const std::function<void(size_t)>& shard_fn) {
+  auto job = std::make_shared<ShardJob>();
+  job->shards = shards;
+  job->shard_fn = &shard_fn;
+
+  // One looping helper per worker (capped at the shard count); each claims
+  // shards until none remain, so even a single helper — or the caller alone,
+  // when every worker is busy inside another caller's body — completes the
+  // job. This is what makes nested use from trainer-level parallelism safe.
+  const size_t helpers = std::min(shards, threads_.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t h = 0; h < helpers; ++h) {
+      tasks_.push([job] { job->Drain(); });
+    }
+  }
+  if (helpers > 0) cv_.notify_all();
+
+  job->Drain();  // caller participates
+
+  {
+    std::unique_lock<std::mutex> lock(job->done_mutex);
+    job->done_cv.wait(lock, [&] { return job->done == job->shards; });
+  }
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (threads_.empty() || n == 1) {
@@ -44,18 +126,20 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     return;
   }
 
-  const size_t shards = std::min(n, threads_.size());
-  std::atomic<size_t> next{0};
-  std::atomic<size_t> done{0};
+  // Chunked claiming: ~4 chunks per executing thread amortizes the claim
+  // (one atomic + one condvar-free loop per chunk) while keeping dynamic
+  // load balance for skewed per-item costs (word blocks are Zipfian).
+  const size_t lanes = threads_.size() + 1;
+  const size_t chunk = std::max<size_t>(1, n / (lanes * 4));
+  const size_t shards = (n + chunk - 1) / chunk;
+  // Per-item error capture so a throwing item never silently skips the rest
+  // of its chunk — every index runs, then the first error is rethrown.
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-
-  auto shard = [&] {
-    for (;;) {
-      const size_t i = next.fetch_add(1);
-      if (i >= n) break;
+  RunShards(shards, [&](size_t s) {
+    const size_t begin = s * chunk;
+    const size_t end = std::min(n, begin + chunk);
+    for (size_t i = begin; i < end; ++i) {
       try {
         fn(i);
       } catch (...) {
@@ -63,22 +147,28 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
         if (!first_error) first_error = std::current_exception();
       }
     }
-    {
-      std::lock_guard<std::mutex> lock(done_mutex);
-      ++done;
-    }
-    done_cv.notify_one();
-  };
-
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (size_t s = 0; s < shards; ++s) tasks_.push(shard);
-  }
-  cv_.notify_all();
-
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return done == shards; });
+  });
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::ParallelForRanges(
+    size_t n, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t ranges = std::min(n, threads_.size() + 1);
+  if (threads_.empty() || ranges == 1) {
+    fn(0, n);
+    return;
+  }
+
+  // Deterministic near-equal partition: the first n % ranges ranges get one
+  // extra item. Boundaries depend only on (n, worker_count()).
+  const size_t base = n / ranges;
+  const size_t extra = n % ranges;
+  RunShards(ranges, [&](size_t r) {
+    const size_t begin = r * base + std::min(r, extra);
+    const size_t end = begin + base + (r < extra ? 1 : 0);
+    fn(begin, end);
+  });
 }
 
 }  // namespace culda

@@ -1,12 +1,23 @@
-// A small fixed-size thread pool with a parallel-for front end.
+// A small fixed-size thread pool with parallel-for front ends.
 //
-// gpusim uses it to execute the thread blocks of a kernel launch; on a
-// single-core host it degrades to sequential execution (the pool runs the
-// caller inline when it has zero workers). Determinism note: block order is
-// irrelevant to correctness in all CuLDA kernels (the paper's kernels only
-// communicate between blocks via atomics), so running blocks in any
-// interleaving yields the same model state given that the reductions used
-// are integer (exact) — float accumulation happens privately per warp.
+// gpusim uses it to execute the thread blocks of a kernel launch, and the
+// trainer uses the same pool to run independent simulated GPUs concurrently
+// between sync points; on a single-core host it degrades to sequential
+// execution (the pool runs the caller inline when it has zero workers).
+//
+// Nesting: ParallelFor / ParallelForRanges may be called from inside a task
+// running on this pool (e.g. a trainer-level device body issuing a kernel
+// launch). The caller always participates in draining its own work from a
+// shared claim counter, so a nested call completes even when every worker is
+// busy with other callers' bodies — there is no circular wait by
+// construction.
+//
+// Determinism note: block order is irrelevant to correctness in all CuLDA
+// kernels (the paper's kernels only communicate between blocks via atomics),
+// so running blocks in any interleaving yields the same model state given
+// that the reductions used are integer (exact) — float accumulation happens
+// privately per warp, and trainer-level float partials are reduced in fixed
+// device order by the caller.
 #pragma once
 
 #include <condition_variable>
@@ -31,13 +42,35 @@ class ThreadPool {
 
   size_t worker_count() const { return threads_.size(); }
 
-  /// Runs fn(i) for i in [0, n), partitioned into contiguous ranges across
-  /// the workers; blocks until all complete. Exceptions from `fn` are
-  /// rethrown on the caller (first one wins).
+  /// Index of the calling thread within *this* pool: 0..worker_count()-1 on
+  /// a pool worker, -1 on any other thread (including the caller of a
+  /// ParallelFor, which participates in the work but is not a pool worker).
+  /// Callers use `current_worker_id() + 1` as a dense per-thread slot index
+  /// in [0, worker_count()] for lock-free partial accumulators.
+  int current_worker_id() const;
+
+  /// Runs fn(i) for i in [0, n); blocks until all complete. Work is claimed
+  /// in contiguous chunks from a shared counter (dynamic load balancing with
+  /// amortized synchronization), and the caller participates. Exceptions
+  /// from `fn` are rethrown on the caller (first one wins); with workers,
+  /// every index still runs (inline mode propagates at the throwing index,
+  /// as a plain loop would).
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
+  /// Range-based variant: partitions [0, n) into at most worker_count()+1
+  /// contiguous near-equal ranges and runs fn(begin, end) once per range.
+  /// The partition is a pure function of (n, worker_count()) — deterministic
+  /// — while the assignment of ranges to threads is not. Use this when the
+  /// per-item body is too cheap to pay a claim per chunk, or when the body
+  /// wants to hoist per-range state.
+  void ParallelForRanges(size_t n,
+                         const std::function<void(size_t, size_t)>& fn);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_id);
+  /// Shared engine: runs shard_fn(s) for s in [0, shards) with caller
+  /// participation and single-claim dynamic scheduling.
+  void RunShards(size_t shards, const std::function<void(size_t)>& shard_fn);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;

@@ -119,5 +119,65 @@ TEST(Determinism, WorkerPoolDoesNotChangeResults) {
   EXPECT_EQ(TrainAndFingerprint(c, seq), TrainAndFingerprint(c, par));
 }
 
+/// Full observable state of a training run: per-token assignments, θ+φ
+/// (via the fingerprint), and the per-iteration *simulated* timings. The
+/// host-parallel execution path must reproduce all of it bit-identically —
+/// a worker pool may only change wall-clock time.
+struct FullRun {
+  std::vector<uint64_t> fingerprint;
+  std::vector<uint16_t> z;
+  std::vector<double> sim_seconds;
+
+  bool operator==(const FullRun&) const = default;
+};
+
+FullRun TrainFully(const corpus::Corpus& c, TrainerOptions opts,
+                   uint32_t iters = 4) {
+  CuldaTrainer trainer(c, TestConfig(), std::move(opts));
+  FullRun run;
+  for (const IterationStats& st : trainer.Train(iters)) {
+    run.sim_seconds.push_back(st.sim_seconds);
+  }
+  run.z = trainer.ExportAssignments();
+  run.fingerprint = Fingerprint(trainer.Gather());
+  return run;
+}
+
+TEST(Determinism, MultiWorkerPoolIdenticalWs1) {
+  // WS1 (M = 1): 4 resident chunks on 4 simulated GPUs, with both trainer-
+  // level device parallelism and block-level kernel parallelism active.
+  const auto c = TestCorpus();
+  ThreadPool pool(4);
+  TrainerOptions inline_opts, pooled;
+  inline_opts.gpus.assign(4, gpusim::TitanXpPascal());
+  inline_opts.chunks_per_gpu = 1;
+  pooled.gpus.assign(4, gpusim::TitanXpPascal());
+  pooled.chunks_per_gpu = 1;
+  pooled.pool = &pool;
+  const FullRun a = TrainFully(c, inline_opts);
+  const FullRun b = TrainFully(c, pooled);
+  EXPECT_EQ(a.z, b.z);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);  // bit-identical doubles
+}
+
+TEST(Determinism, MultiWorkerPoolIdenticalWs2) {
+  // WS2 (M > 1): chunks stream through the GPUs with double-buffered
+  // transfers; the streamed schedule must be as pool-independent as WS1.
+  const auto c = TestCorpus();
+  ThreadPool pool(4);
+  TrainerOptions inline_opts, pooled;
+  inline_opts.gpus.assign(2, gpusim::TitanXpPascal());
+  inline_opts.chunks_per_gpu = 3;
+  pooled.gpus.assign(2, gpusim::TitanXpPascal());
+  pooled.chunks_per_gpu = 3;
+  pooled.pool = &pool;
+  const FullRun a = TrainFully(c, inline_opts);
+  const FullRun b = TrainFully(c, pooled);
+  EXPECT_EQ(a.z, b.z);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+}
+
 }  // namespace
 }  // namespace culda::core

@@ -273,6 +273,109 @@ TEST(ThreadPool, ReusableAcrossCalls) {
 TEST(ThreadPool, ZeroItemsIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [&](size_t) { FAIL(); });
+  pool.ParallelForRanges(0, [&](size_t, size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ExceptionFirstOneWinsAndAllItemsRun) {
+  // Several items throw; exactly one exception propagates, and every item
+  // still executes (the pool does not abandon claimed work on error).
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  try {
+    pool.ParallelFor(200, [&](size_t i) {
+      ran.fetch_add(1);
+      if (i % 50 == 0) throw Error("boom " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).substr(0, 4), "boom");
+  }
+  EXPECT_EQ(ran.load(), 200);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  // Trainer-level parallelism runs device bodies on the pool; each body
+  // launches kernels whose blocks use the *same* pool. Every nested call
+  // must complete even when all workers are busy inside outer bodies —
+  // the caller participates, so no circular wait can form.
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(16, [&](size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 8 * 16);
+}
+
+TEST(ThreadPool, NestedUseWithSingleWorker) {
+  // Worst case for nesting: one worker, fully occupied by the outer loop.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(4, [&](size_t) {
+    pool.ParallelForRanges(10, [&](size_t b, size_t e) {
+      count.fetch_add(static_cast<int>(e - b));
+    });
+  });
+  EXPECT_EQ(count.load(), 40);
+}
+
+TEST(ThreadPool, RangesCoverEverythingExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  std::atomic<int> ranges{0};
+  pool.ParallelForRanges(1000, [&](size_t begin, size_t end) {
+    EXPECT_LT(begin, end);
+    ranges.fetch_add(1);
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // At most one range per executing thread (workers + caller).
+  EXPECT_LE(ranges.load(), 4);
+}
+
+TEST(ThreadPool, RangesInlineWhenNoWorkers) {
+  ThreadPool pool(0);
+  int calls = 0;
+  pool.ParallelForRanges(17, [&](size_t begin, size_t end) {
+    ++calls;
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 17u);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, RangesPropagateExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.ParallelForRanges(
+                   100, [&](size_t begin, size_t) {
+                     if (begin == 0) throw Error("range boom");
+                   }),
+               Error);
+}
+
+TEST(ThreadPool, CurrentWorkerIdIsADenseSlot) {
+  ThreadPool pool(3);
+  // The calling thread is not a pool worker.
+  EXPECT_EQ(pool.current_worker_id(), -1);
+  // Inside tasks, every executing thread maps to a distinct slot in
+  // [0, worker_count()] via id + 1 — the invariant Device::Launch's
+  // per-worker accumulators rely on.
+  std::vector<std::atomic<int>> slot_hits(pool.worker_count() + 1);
+  pool.ParallelFor(64, [&](size_t) {
+    const int id = pool.current_worker_id();
+    ASSERT_GE(id, -1);
+    ASSERT_LT(id, static_cast<int>(pool.worker_count()));
+    slot_hits[static_cast<size_t>(id + 1)].fetch_add(1);
+  });
+  int total = 0;
+  for (const auto& h : slot_hits) total += h.load();
+  EXPECT_EQ(total, 64);
+  // A different pool's workers are strangers to this one.
+  ThreadPool other(1);
+  other.ParallelFor(2, [&](size_t) {
+    if (other.current_worker_id() >= 0) {
+      EXPECT_EQ(pool.current_worker_id(), -1);
+    }
+  });
 }
 
 // ----------------------------------------------------------------- table --

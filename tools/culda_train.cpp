@@ -13,6 +13,9 @@
 //   --iters=N           training iterations (default 100)
 //   --device=NAME       titan | pascal | volta | cpu (default volta)
 //   --gpus=G            simulated GPU count (default 1)
+//   --workers=N         host worker threads running simulated GPUs and
+//                       kernel blocks in parallel (default 0 = inline;
+//                       wall-clock only, results are bit-identical)
 //   --chunks-per-gpu=M  override the automatic WS1/WS2 choice
 //   --hyperopt=N        re-estimate α/β every N iterations (default off)
 //   --out=PATH          save the trained model
@@ -69,6 +72,12 @@ int main(int argc, char** argv) {
     opts.gpus.assign(
         flags.GetInt("gpus", 1),
         gpusim::SpecByName(flags.GetString("device", "volta")));
+    const int64_t workers_flag = flags.GetInt("workers", 0);
+    CULDA_CHECK_MSG(workers_flag >= 0 && workers_flag <= 1024,
+                    "--workers must be in [0, 1024], got " << workers_flag);
+    const size_t workers = static_cast<size_t>(workers_flag);
+    ThreadPool pool(workers);
+    if (workers > 0) opts.pool = &pool;
     opts.chunks_per_gpu =
         static_cast<uint32_t>(flags.GetInt("chunks-per-gpu", 0));
     opts.hyperopt_interval =
@@ -102,21 +111,30 @@ int main(int argc, char** argv) {
                                               : "WorkSchedule2");
 
     double sim_total = 0;
+    double wall_total = 0;
     for (int i = 0; i < iters; ++i) {
       const auto st = trainer.Step();
       sim_total += st.sim_seconds;
+      wall_total += st.wall_seconds;
       if (!quiet && (i % 10 == 0 || i + 1 == iters)) {
-        std::printf("iter %4u  %8.1f Mtok/s  ll/token %.4f\n",
-                    st.iteration, st.tokens_per_sec / 1e6,
-                    trainer.LogLikelihoodPerToken());
+        std::printf(
+            "iter %4u  %8.1f Mtok/s (sim)  %6.2f Mtok/s (wall)  "
+            "ll/token %.4f\n",
+            st.iteration, st.tokens_per_sec / 1e6,
+            st.wall_tokens_per_sec / 1e6, trainer.LogLikelihoodPerToken());
       }
       if (!ckpt_path.empty() && (i + 1) % ckpt_every == 0) {
         std::ofstream out(ckpt_path, std::ios::binary);
         trainer.SaveCheckpoint(out);
       }
     }
-    std::printf("done: %d iterations, %.3f simulated seconds total\n", iters,
-                sim_total);
+    std::printf(
+        "done: %d iterations, %.3f simulated seconds, %.3f wall seconds "
+        "(%zu workers, %.2f Mtok/s wall)\n",
+        iters, sim_total, wall_total, workers,
+        wall_total > 0 ? static_cast<double>(trainer.num_tokens()) * iters /
+                             wall_total / 1e6
+                       : 0.0);
 
     if (heldout_frac > 0) {
       const core::InferenceEngine engine(trainer.Gather(),
