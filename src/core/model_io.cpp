@@ -1,93 +1,76 @@
 #include "core/model_io.hpp"
 
-#include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <vector>
 
 #include "util/check.hpp"
+#include "util/io.hpp"
 
 namespace culda::core {
 
 namespace {
 
 constexpr char kMagic[8] = {'C', 'U', 'L', 'D', 'A', 'M', 'D', 'L'};
-constexpr uint32_t kVersion = 1;
-
-template <typename T>
-void WritePod(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-
-template <typename T>
-void WriteSpan(std::ostream& out, std::span<const T> data) {
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(T)));
-}
-
-template <typename T>
-T ReadPod(std::istream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  CULDA_CHECK_MSG(in.good(), "model file truncated");
-  return v;
-}
-
-template <typename T>
-std::vector<T> ReadVector(std::istream& in, size_t count) {
-  std::vector<T> v(count);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(count * sizeof(T)));
-  CULDA_CHECK_MSG(in.good(), "model file truncated");
-  return v;
-}
+// v1 was the pre-hardening layout without the length/CRC frame; it cannot be
+// validated against corruption, so it is rejected explicitly rather than
+// parsed on faith.
+constexpr uint32_t kVersion = 2;
+// θ topic indices and z assignments are u16 (Section 6.1.3), so any header
+// claiming more topics is corrupt by construction.
+constexpr uint64_t kMaxTopics = 1ull << 16;
 
 }  // namespace
 
 void SaveModel(const GatheredModel& model, std::ostream& out) {
   model.theta.Validate();
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  WritePod(out, model.num_topics);
-  WritePod(out, model.vocab_size);
-  WritePod(out, model.num_docs);
-
-  WritePod(out, static_cast<uint64_t>(model.theta.nnz()));
-  WriteSpan(out, model.theta.row_ptr());
-  WriteSpan(out, model.theta.col_idx());
-  WriteSpan(out, model.theta.values());
-  WriteSpan(out, model.phi.flat());
-  WriteSpan(out, std::span<const int32_t>(model.nk));
+  io::ContainerWriter w;
+  w.WritePod(model.num_topics);
+  w.WritePod(model.vocab_size);
+  w.WritePod(model.num_docs);
+  w.WritePod(static_cast<uint64_t>(model.theta.nnz()));
+  w.WriteSpan(model.theta.row_ptr());
+  w.WriteSpan(model.theta.col_idx());
+  w.WriteSpan(model.theta.values());
+  w.WriteSpan(model.phi.flat());
+  w.WriteSpan(std::span<const int32_t>(model.nk));
+  w.Finish(out, kMagic, kVersion);
   CULDA_CHECK_MSG(out.good(), "failed writing model");
 }
 
 void SaveModelToFile(const GatheredModel& model, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  CULDA_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
-  SaveModel(model, out);
+  io::AtomicWriteFile(path,
+                      [&](std::ostream& out) { SaveModel(model, out); });
 }
 
 GatheredModel LoadModel(std::istream& in) {
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  CULDA_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 8) == 0,
-                  "not a CuLDA model file (bad magic)");
-  const uint32_t version = ReadPod<uint32_t>(in);
-  CULDA_CHECK_MSG(version == kVersion,
-                  "unsupported model version " << version);
+  // ReadContainer verifies the version, declared length, and CRC32 before
+  // any field is parsed, reading in bounded chunks — a hostile header cannot
+  // OOM here, and the unframed v1 layout is rejected by its version.
+  const std::string payload = io::ReadContainer(in, kMagic, kVersion, "model");
+  io::ByteReader r(payload, "model");
 
   GatheredModel model;
-  model.num_topics = ReadPod<uint32_t>(in);
-  model.vocab_size = ReadPod<uint32_t>(in);
-  model.num_docs = ReadPod<uint64_t>(in);
-  CULDA_CHECK_MSG(model.num_topics >= 1 && model.vocab_size >= 1,
-                  "model header dimensions invalid");
+  model.num_topics = r.ReadPod<uint32_t>();
+  model.vocab_size = r.ReadPod<uint32_t>();
+  model.num_docs = r.ReadPod<uint64_t>();
+  CULDA_CHECK_MSG(model.num_topics >= 1 && model.num_topics <= kMaxTopics &&
+                      model.vocab_size >= 1,
+                  "model header dimensions invalid (K="
+                      << model.num_topics << ", V=" << model.vocab_size
+                      << ")");
+  // Guard num_docs + 1 below against wrap; the row-pointer section itself is
+  // then bounds-checked by ReadVector before allocating.
+  CULDA_CHECK_MSG(model.num_docs <= r.remaining() / sizeof(uint64_t),
+                  "model header declares " << model.num_docs
+                                           << " documents, more than the "
+                                              "payload can hold");
 
-  const uint64_t nnz = ReadPod<uint64_t>(in);
-  auto row_ptr = ReadVector<uint64_t>(in, model.num_docs + 1);
-  auto col = ReadVector<uint16_t>(in, nnz);
-  auto val = ReadVector<int32_t>(in, nnz);
+  const uint64_t nnz = r.ReadPod<uint64_t>();
+  auto row_ptr = r.ReadVector<uint64_t>(model.num_docs + 1);
+  auto col = r.ReadVector<uint16_t>(nnz);
+  auto val = r.ReadVector<int32_t>(nnz);
 
   model.theta = ThetaMatrix(model.num_docs, model.num_topics);
   ThetaMatrix::RowBuilder builder(&model.theta);
@@ -105,10 +88,13 @@ GatheredModel LoadModel(std::istream& in) {
   CULDA_CHECK_MSG(row_ptr.back() == nnz, "corrupt θ row pointers");
 
   model.phi = PhiMatrix(model.num_topics, model.vocab_size);
-  auto phi = ReadVector<uint16_t>(
-      in, static_cast<size_t>(model.num_topics) * model.vocab_size);
+  // K ≤ 2^16 and V < 2^32, so the element count cannot overflow u64; the
+  // byte bound is enforced by ReadVector before allocation.
+  auto phi = r.ReadVector<uint16_t>(static_cast<uint64_t>(model.num_topics) *
+                                    model.vocab_size);
   std::copy(phi.begin(), phi.end(), model.phi.flat().begin());
-  model.nk = ReadVector<int32_t>(in, model.num_topics);
+  model.nk = r.ReadVector<int32_t>(model.num_topics);
+  r.ExpectEnd();
 
   model.theta.Validate();
   // φ / n_k consistency.

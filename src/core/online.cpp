@@ -20,7 +20,10 @@ InferenceResult OnlineTrainer::AddDocument(std::vector<uint32_t> words) {
     CULDA_CHECK_MSG(w < corpus_.vocab_size(),
                     "online documents must use the trained vocabulary");
   }
-  const InferenceEngine engine(trainer_->Gather(), cfg_);
+  // The engine keeps a pointer to the model, so the gathered copy must
+  // outlive the InferDocument call below.
+  const GatheredModel model = trainer_->Gather();
+  const InferenceEngine engine(model, cfg_);
   InferenceResult result = engine.InferDocument(
       words, /*iterations=*/20,
       /*seed=*/cfg_.seed ^ (pending_docs_.size() + 0x9E3779B9ull));
@@ -62,6 +65,22 @@ void OnlineTrainer::Absorb(uint32_t refresh_iterations) {
 void OnlineTrainer::RebuildTrainer(std::vector<uint16_t> z_doc_major) {
   trainer_ = std::make_unique<CuldaTrainer>(corpus_, cfg_, opts_);
   trainer_->ImportAssignments(z_doc_major);
+}
+
+void OnlineTrainer::SaveCheckpoint(std::ostream& out) const {
+  CULDA_CHECK_MSG(pending_docs_.empty(),
+                  pending_docs_.size()
+                      << " pending documents would be lost by this "
+                         "checkpoint; call Absorb() first");
+  trainer_->SaveCheckpoint(out);
+}
+
+void OnlineTrainer::RestoreCheckpoint(std::istream& in) {
+  CULDA_CHECK_MSG(pending_docs_.empty(),
+                  pending_docs_.size()
+                      << " pending documents would be orphaned by this "
+                         "restore; call Absorb() first");
+  trainer_->RestoreCheckpoint(in);
 }
 
 }  // namespace culda::core

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -48,6 +49,13 @@ class OnlineTrainer {
     return trainer_->LogLikelihoodPerToken();
   }
   uint32_t iteration() const { return trainer_->iteration(); }
+
+  /// Checkpoints delegate to the underlying trainer (same CRC-framed format,
+  /// same transactional restore). Pending fold-in documents are not part of
+  /// the checkpoint, so both directions refuse while any are queued —
+  /// Absorb() first — rather than dropping them silently.
+  void SaveCheckpoint(std::ostream& out) const;
+  void RestoreCheckpoint(std::istream& in);
 
  private:
   void RebuildTrainer(std::vector<uint16_t> z_doc_major);

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <fstream>
 #include <istream>
 #include <ostream>
 
 #include "core/evaluator.hpp"
 #include "core/hyperopt.hpp"
 #include "corpus/chunking.hpp"
+#include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/philox.hpp"
 #include "util/stopwatch.hpp"
@@ -393,58 +395,56 @@ void CuldaTrainer::ImportAssignments(std::span<const uint16_t> z_doc_major) {
 
 namespace {
 constexpr char kCkptMagic[8] = {'C', 'U', 'L', 'D', 'A', 'C', 'K', 'P'};
-constexpr uint32_t kCkptVersion = 1;
-
-template <typename T>
-void WritePod(std::ostream& out, const T& v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
-template <typename T>
-T ReadPod(std::istream& in) {
-  T v{};
-  in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  CULDA_CHECK_MSG(in.good(), "checkpoint truncated");
-  return v;
-}
+// v1 was the pre-hardening layout without the length/CRC frame; rejected
+// explicitly (a checkpoint is cheap to regenerate, unlike a guessed parse).
+constexpr uint32_t kCkptVersion = 2;
 }  // namespace
 
 void CuldaTrainer::SaveCheckpoint(std::ostream& out) const {
-  out.write(kCkptMagic, sizeof(kCkptMagic));
-  WritePod(out, kCkptVersion);
-  WritePod(out, cfg_.num_topics);
-  WritePod(out, cfg_.seed);
-  WritePod(out, corpus_->num_tokens());
-  WritePod(out, static_cast<uint64_t>(corpus_->num_docs()));
-  WritePod(out, corpus_->vocab_size());
-  WritePod(out, iteration_);
-  WritePod(out, static_cast<uint32_t>(chunks_.size()));
+  io::ContainerWriter w;
+  w.WritePod(cfg_.num_topics);
+  w.WritePod(cfg_.seed);
+  w.WritePod(corpus_->num_tokens());
+  w.WritePod(static_cast<uint64_t>(corpus_->num_docs()));
+  w.WritePod(corpus_->vocab_size());
+  w.WritePod(iteration_);
+  w.WritePod(static_cast<uint32_t>(chunks_.size()));
   for (const auto& chunk : chunks_) {
-    WritePod(out, static_cast<uint64_t>(chunk.z.size()));
-    out.write(reinterpret_cast<const char*>(chunk.z.data()),
-              static_cast<std::streamsize>(chunk.z.size() * 2));
+    w.WritePod(static_cast<uint64_t>(chunk.z.size()));
+    w.WriteSpan(std::span<const uint16_t>(chunk.z));
   }
+  w.Finish(out, kCkptMagic, kCkptVersion);
   CULDA_CHECK_MSG(out.good(), "failed writing checkpoint");
 }
 
 void CuldaTrainer::RestoreCheckpoint(std::istream& in) {
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  CULDA_CHECK_MSG(in.good() && std::memcmp(magic, kCkptMagic, 8) == 0,
-                  "not a CuLDA checkpoint (bad magic)");
-  CULDA_CHECK_MSG(ReadPod<uint32_t>(in) == kCkptVersion,
-                  "unsupported checkpoint version");
-  CULDA_CHECK_MSG(ReadPod<uint32_t>(in) == cfg_.num_topics,
+  // Version, length, and CRC are verified before any field is parsed
+  // (bounded reads; a hostile header cannot OOM), and the trainer is mutated
+  // only after the whole payload validates — a failed restore leaves it
+  // fully usable.
+  const std::string payload =
+      io::ReadContainer(in, kCkptMagic, kCkptVersion, "checkpoint");
+  io::ByteReader r(payload, "checkpoint");
+
+  CULDA_CHECK_MSG(r.ReadPod<uint32_t>() == cfg_.num_topics,
                   "checkpoint K differs from trainer config");
-  CULDA_CHECK_MSG(ReadPod<uint64_t>(in) == cfg_.seed,
+  CULDA_CHECK_MSG(r.ReadPod<uint64_t>() == cfg_.seed,
                   "checkpoint seed differs from trainer config");
-  CULDA_CHECK_MSG(ReadPod<uint64_t>(in) == corpus_->num_tokens(),
+  CULDA_CHECK_MSG(r.ReadPod<uint64_t>() == corpus_->num_tokens(),
                   "checkpoint was taken on a different corpus (tokens)");
-  CULDA_CHECK_MSG(ReadPod<uint64_t>(in) == corpus_->num_docs(),
+  CULDA_CHECK_MSG(r.ReadPod<uint64_t>() == corpus_->num_docs(),
                   "checkpoint was taken on a different corpus (docs)");
-  CULDA_CHECK_MSG(ReadPod<uint32_t>(in) == corpus_->vocab_size(),
+  CULDA_CHECK_MSG(r.ReadPod<uint32_t>() == corpus_->vocab_size(),
                   "checkpoint was taken on a different corpus (vocab)");
-  const uint32_t iteration = ReadPod<uint32_t>(in);
-  const uint32_t num_chunks = ReadPod<uint32_t>(in);
+  const uint32_t iteration = r.ReadPod<uint32_t>();
+  const uint32_t num_chunks = r.ReadPod<uint32_t>();
+  // Each chunk contributes at least its u64 length to the payload, so the
+  // remaining bytes bound the plausible chunk count before PartitionByTokens
+  // allocates num_chunks specs.
+  CULDA_CHECK_MSG(num_chunks >= 1 &&
+                      num_chunks <= r.remaining() / sizeof(uint64_t) &&
+                      num_chunks <= corpus_->num_docs(),
+                  "checkpoint chunk count " << num_chunks << " implausible");
 
   // The checkpoint's chunking may differ (different G or M): read all z in
   // checkpoint-chunk order into a corpus-global array keyed by token id,
@@ -459,24 +459,25 @@ void CuldaTrainer::RestoreCheckpoint(std::istream& in) {
     // trainer uses a different G or M.
     const auto specs = corpus::PartitionByTokens(*corpus_, num_chunks);
     uint64_t covered = 0;
-    std::vector<uint16_t> buf;
-    for (uint32_t c = 0; c < num_chunks; ++c) {
-      const uint64_t n = ReadPod<uint64_t>(in);
-      buf.resize(n);
-      in.read(reinterpret_cast<char*>(buf.data()),
-              static_cast<std::streamsize>(n * 2));
-      CULDA_CHECK_MSG(in.good(), "checkpoint truncated");
-      const auto layout = corpus::BuildWordFirstChunk(*corpus_, specs[c]);
+    for (uint32_t c_idx = 0; c_idx < num_chunks; ++c_idx) {
+      const uint64_t n = r.ReadPod<uint64_t>();
+      CULDA_CHECK_MSG(n <= corpus_->num_tokens() - covered,
+                      "checkpoint declares more tokens than the corpus");
+      const auto buf = r.ReadVector<uint16_t>(n);
+      const auto layout =
+          corpus::BuildWordFirstChunk(*corpus_, specs[c_idx]);
       CULDA_CHECK_MSG(layout.num_tokens() == n,
                       "checkpoint chunking mismatch");
       for (uint64_t t = 0; t < n; ++t) {
-        CULDA_CHECK(buf[t] < cfg_.num_topics);
+        CULDA_CHECK_MSG(buf[t] < cfg_.num_topics,
+                        "checkpoint topic id " << buf[t] << " out of range");
         z_global[layout.token_global[t]] = buf[t];
       }
       covered += n;
     }
     CULDA_CHECK_MSG(covered == corpus_->num_tokens(),
                     "checkpoint does not cover the corpus");
+    r.ExpectEnd();
   }
 
   for (auto& chunk : chunks_) {
@@ -486,6 +487,40 @@ void CuldaTrainer::RestoreCheckpoint(std::istream& in) {
   }
   iteration_ = iteration;
   RebuildCountsFromZ();
+}
+
+void CuldaTrainer::SaveCheckpointToFile(const std::string& path) const {
+  io::AtomicWriteFile(
+      path, [&](std::ostream& out) { SaveCheckpoint(out); },
+      /*keep_previous=*/true);
+}
+
+std::string CuldaTrainer::RestoreCheckpointFromFile(const std::string& path) {
+  std::string first_error;
+  if (io::FileExists(path)) {
+    try {
+      std::ifstream in(path, std::ios::binary);
+      CULDA_CHECK_MSG(in.good(), "cannot open checkpoint '" << path << "'");
+      RestoreCheckpoint(in);
+      return path;
+    } catch (const Error& e) {
+      first_error = e.what();
+    }
+  } else {
+    first_error = "checkpoint '" + path + "' does not exist";
+  }
+
+  const std::string prev = path + ".prev";
+  CULDA_CHECK_MSG(io::FileExists(prev),
+                  "cannot resume: " << first_error
+                                    << " (and no last-good checkpoint '"
+                                    << prev << "' to fall back to)");
+  CULDA_LOG(Warn) << "checkpoint '" << path << "' unusable (" << first_error
+                  << "); falling back to last-good '" << prev << "'";
+  std::ifstream in(prev, std::ios::binary);
+  CULDA_CHECK_MSG(in.good(), "cannot open checkpoint '" << prev << "'");
+  RestoreCheckpoint(in);
+  return prev;
 }
 
 }  // namespace culda::core

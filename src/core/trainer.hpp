@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/config.hpp"
@@ -119,11 +120,24 @@ class CuldaTrainer {
   // A checkpoint is the per-token topic assignment plus the iteration
   // counter — everything else (θ, φ, n_k) is recomputed, and the Philox
   // streams are keyed by (seed, iteration, token), so resuming a checkpoint
-  // continues bit-identically to an uninterrupted run.
+  // continues bit-identically to an uninterrupted run. On disk it is a
+  // util/io container (magic + version + length + CRC32 trailer); see
+  // docs/persistence.md.
   void SaveCheckpoint(std::ostream& out) const;
   /// Restores into a trainer built over the same corpus/config/topology;
-  /// throws culda::Error on any mismatch or corruption.
+  /// throws culda::Error on any mismatch or corruption. The restore is
+  /// transactional: on failure the trainer's state is unchanged and it
+  /// remains fully usable.
   void RestoreCheckpoint(std::istream& in);
+  /// Atomic checkpoint-to-file: writes `path.tmp`, fsyncs, rotates any
+  /// existing `path` to `path.prev`, then renames — a crash at any point
+  /// leaves a loadable checkpoint under `path` or `path.prev`.
+  void SaveCheckpointToFile(const std::string& path) const;
+  /// Restores from `path`, degrading gracefully to the retained last-good
+  /// `path.prev` (with a logged warning) when `path` is missing, torn, or
+  /// corrupt. Returns the path actually restored; throws culda::Error when
+  /// neither file is usable.
+  std::string RestoreCheckpointFromFile(const std::string& path);
 
   /// Topic assignments in corpus document-major order (the inverse of the
   /// word-first permutation). Together with ImportAssignments this lets a

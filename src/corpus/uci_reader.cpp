@@ -1,5 +1,7 @@
 #include "corpus/uci_reader.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <istream>
 #include <map>
@@ -11,35 +13,113 @@
 
 namespace culda::corpus {
 
-Corpus ReadUciBagOfWords(std::istream& in) {
-  uint64_t num_docs = 0, vocab = 0, nnz = 0;
-  CULDA_CHECK_MSG(static_cast<bool>(in >> num_docs >> vocab >> nnz),
-                  "UCI header (D, W, NNZ) missing or malformed");
-  CULDA_CHECK_MSG(num_docs > 0 && vocab > 0, "empty UCI header");
+namespace {
 
-  // Entries may arrive in any doc order; bucket them per document first.
-  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> docs(num_docs);
+/// One parsed entry, 0-based. Buffering entries (instead of pre-sizing a
+/// per-document bucket array from the header) keeps parse memory
+/// proportional to the input actually read: a header declaring 10^18
+/// documents costs nothing until real entries arrive.
+struct UciEntry {
+  uint32_t doc;
+  uint32_t word;
+  uint64_t count;
+};
+
+}  // namespace
+
+Corpus ReadUciBagOfWords(std::istream& in, const UciReadLimits& limits) {
+  // doc/word ids are carried in 32 bits below; a wider limit would truncate.
+  CULDA_CHECK_MSG(limits.max_docs <= UINT32_MAX &&
+                      limits.max_vocab <= UINT32_MAX,
+                  "UciReadLimits doc/vocab caps must fit in 32 bits");
+
+  // Signed extraction so a leading '-' is seen as a negative number (and
+  // rejected below) instead of wrapping to 2^64−1 the way unsigned stream
+  // extraction would; values beyond int64 range fail extraction outright.
+  int64_t num_docs_s = 0, vocab_s = 0, nnz_s = 0;
+  CULDA_CHECK_MSG(static_cast<bool>(in >> num_docs_s >> vocab_s >> nnz_s),
+                  "UCI header (D, W, NNZ) missing or malformed");
+  CULDA_CHECK_MSG(num_docs_s >= 0 && vocab_s >= 0 && nnz_s >= 0,
+                  "UCI header contains a negative value (D=" << num_docs_s
+                      << ", W=" << vocab_s << ", NNZ=" << nnz_s << ")");
+  CULDA_CHECK_MSG(num_docs_s > 0 && vocab_s > 0, "empty UCI header");
+  const uint64_t num_docs = static_cast<uint64_t>(num_docs_s);
+  const uint64_t vocab = static_cast<uint64_t>(vocab_s);
+  const uint64_t nnz = static_cast<uint64_t>(nnz_s);
+  CULDA_CHECK_MSG(num_docs <= limits.max_docs,
+                  "UCI header declares " << num_docs
+                                         << " documents, above the limit "
+                                         << limits.max_docs);
+  CULDA_CHECK_MSG(vocab <= limits.max_vocab,
+                  "UCI header declares a vocabulary of "
+                      << vocab << ", above the limit " << limits.max_vocab);
+  CULDA_CHECK_MSG(nnz <= limits.max_nnz,
+                  "UCI header declares " << nnz
+                                         << " entries, above the limit "
+                                         << limits.max_nnz);
+
+  std::vector<UciEntry> entries;
+  entries.reserve(static_cast<size_t>(std::min<uint64_t>(nnz, 1u << 20)));
+  uint64_t total_tokens = 0;
   for (uint64_t i = 0; i < nnz; ++i) {
-    uint64_t doc_id = 0, word_id = 0, count = 0;
+    int64_t doc_id = 0, word_id = 0, count = 0;
     CULDA_CHECK_MSG(static_cast<bool>(in >> doc_id >> word_id >> count),
                     "UCI entry " << i << " malformed (expected " << nnz
                                  << " entries)");
-    CULDA_CHECK_MSG(doc_id >= 1 && doc_id <= num_docs,
-                    "doc id " << doc_id << " out of [1, " << num_docs << "]");
-    CULDA_CHECK_MSG(word_id >= 1 && word_id <= vocab,
+    CULDA_CHECK_MSG(doc_id >= 0 && word_id >= 0 && count >= 0,
+                    "UCI entry " << i << " contains a negative value ("
+                                 << doc_id << " " << word_id << " " << count
+                                 << ")");
+    CULDA_CHECK_MSG(doc_id >= 1 && static_cast<uint64_t>(doc_id) <= num_docs,
+                    "doc id " << doc_id << " out of [1, " << num_docs
+                              << "]");
+    CULDA_CHECK_MSG(word_id >= 1 && static_cast<uint64_t>(word_id) <= vocab,
                     "word id " << word_id << " out of [1, " << vocab << "]");
     CULDA_CHECK_MSG(count >= 1, "zero count at entry " << i);
-    docs[doc_id - 1].emplace_back(static_cast<uint32_t>(word_id - 1),
-                                  static_cast<uint32_t>(count));
+    CULDA_CHECK_MSG(static_cast<uint64_t>(count) <=
+                        limits.max_tokens - total_tokens,
+                    "entry " << i << " (count " << count
+                             << ") pushes the token total past the limit "
+                             << limits.max_tokens);
+    total_tokens += static_cast<uint64_t>(count);
+    entries.push_back({static_cast<uint32_t>(doc_id - 1),
+                       static_cast<uint32_t>(word_id - 1),
+                       static_cast<uint64_t>(count)});
   }
+
+  // The final number must be terminated by whitespace: without this, a file
+  // truncated inside its last count (e.g. "… 12" → "… 1") still parses and
+  // loads silently with the wrong corpus.
+  if (nnz > 0) {
+    const int next = in.peek();
+    CULDA_CHECK_MSG(
+        next != std::char_traits<char>::eof() &&
+            std::isspace(static_cast<unsigned char>(next)),
+        "UCI input ends unterminated after the last entry (truncated?)");
+  }
+  in >> std::ws;
+  CULDA_CHECK_MSG(in.peek() == std::char_traits<char>::eof(),
+                  "trailing garbage after " << nnz << " UCI entries");
+
+  // Entries may arrive in any doc order; a stable sort groups them per
+  // document while preserving the input order within each (matching the
+  // historical per-document bucketing).
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const UciEntry& a, const UciEntry& b) {
+                     return a.doc < b.doc;
+                   });
 
   std::vector<uint64_t> doc_offsets;
   doc_offsets.reserve(num_docs + 1);
   doc_offsets.push_back(0);
   std::vector<uint32_t> words;
-  for (const auto& entries : docs) {
-    for (const auto& [word, count] : entries) {
-      for (uint32_t c = 0; c < count; ++c) words.push_back(word);
+  words.reserve(static_cast<size_t>(total_tokens));
+  size_t e = 0;
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    for (; e < entries.size() && entries[e].doc == d; ++e) {
+      for (uint64_t c = 0; c < entries[e].count; ++c) {
+        words.push_back(entries[e].word);
+      }
     }
     doc_offsets.push_back(words.size());
   }
@@ -47,10 +127,11 @@ Corpus ReadUciBagOfWords(std::istream& in) {
                 std::move(words));
 }
 
-Corpus ReadUciBagOfWordsFile(const std::string& path) {
+Corpus ReadUciBagOfWordsFile(const std::string& path,
+                             const UciReadLimits& limits) {
   std::ifstream in(path);
   CULDA_CHECK_MSG(in.good(), "cannot open UCI file '" << path << "'");
-  return ReadUciBagOfWords(in);
+  return ReadUciBagOfWords(in, limits);
 }
 
 void WriteUciBagOfWords(const Corpus& corpus, std::ostream& out) {

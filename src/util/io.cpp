@@ -1,0 +1,166 @@
+#include "util/io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace culda::io {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
+
+/// Best-effort durability: rename gives atomicity, fsync gives persistence
+/// across power loss. Failure to sync is not fatal (some filesystems refuse
+/// it); failure to *write* is caught earlier via the stream state.
+void FsyncPath(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const char> data, uint32_t crc) {
+  crc = ~crc;
+  for (const char ch : data) {
+    crc = kCrcTable[(crc ^ static_cast<uint8_t>(ch)) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+void ContainerWriter::Finish(std::ostream& out, const char (&magic)[8],
+                             uint32_t version) const {
+  char header[12];
+  const uint64_t size = payload_.size();
+  std::memcpy(header, &version, sizeof(version));
+  std::memcpy(header + 4, &size, sizeof(size));
+  uint32_t crc = Crc32({header, sizeof(header)});
+  crc = Crc32(payload_, crc);
+
+  out.write(magic, 8);
+  out.write(header, sizeof(header));
+  out.write(payload_.data(),
+            static_cast<std::streamsize>(payload_.size()));
+  out.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  CULDA_CHECK_MSG(out.good(), "failed writing container payload ("
+                                  << payload_.size() << " bytes)");
+}
+
+std::string ReadContainer(std::istream& in, const char (&magic)[8],
+                          uint32_t expected_version,
+                          std::string_view context, bool require_eof) {
+  char got_magic[8];
+  in.read(got_magic, sizeof(got_magic));
+  CULDA_CHECK_MSG(in.gcount() == sizeof(got_magic) &&
+                      std::memcmp(got_magic, magic, sizeof(got_magic)) == 0,
+                  "not a CuLDA " << context << " file (bad magic)");
+
+  char header[12];
+  in.read(header, sizeof(header));
+  CULDA_CHECK_MSG(in.gcount() == sizeof(header),
+                  context << " truncated inside the container header");
+  uint32_t version = 0;
+  uint64_t declared = 0;
+  std::memcpy(&version, header, sizeof(version));
+  std::memcpy(&declared, header + 4, sizeof(declared));
+  CULDA_CHECK_MSG(
+      version == expected_version,
+      context << " format version " << version
+              << " is not supported by this build (expected "
+              << expected_version
+              << (version < expected_version
+                      ? "); pre-checksum files must be regenerated"
+                      : "); this file was written by a newer build"));
+
+  // Bounded chunked read: allocation tracks bytes actually present, so a
+  // hostile `declared` costs at most one chunk of over-allocation before the
+  // truncation is detected — never an OOM.
+  constexpr uint64_t kChunk = 1 << 20;
+  std::string payload;
+  uint64_t got = 0;
+  while (got < declared) {
+    const size_t step =
+        static_cast<size_t>(std::min<uint64_t>(kChunk, declared - got));
+    payload.resize(static_cast<size_t>(got) + step);
+    in.read(payload.data() + got, static_cast<std::streamsize>(step));
+    const uint64_t n = static_cast<uint64_t>(in.gcount());
+    got += n;
+    CULDA_CHECK_MSG(n == step,
+                    context << " truncated: header declares " << declared
+                            << " payload bytes but the stream ends after "
+                            << got);
+  }
+
+  uint32_t stored_crc = 0;
+  in.read(reinterpret_cast<char*>(&stored_crc), sizeof(stored_crc));
+  CULDA_CHECK_MSG(in.gcount() == sizeof(stored_crc),
+                  context << " truncated: CRC32 trailer missing");
+  uint32_t crc = Crc32({header, sizeof(header)});
+  crc = Crc32(payload, crc);
+  CULDA_CHECK_MSG(crc == stored_crc,
+                  context << " corrupt: CRC32 mismatch (stored 0x" << std::hex
+                          << stored_crc << ", computed 0x" << crc << ")");
+
+  if (require_eof) {
+    CULDA_CHECK_MSG(in.peek() == std::char_traits<char>::eof(),
+                    context << " has trailing garbage after the CRC trailer");
+  }
+  return payload;
+}
+
+bool FileExists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec);
+}
+
+void AtomicWriteFile(const std::string& path,
+                     const std::function<void(std::ostream&)>& write,
+                     bool keep_previous) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    CULDA_CHECK_MSG(out.good(), "cannot open '" << tmp << "' for writing");
+    write(out);
+    out.flush();
+    CULDA_CHECK_MSG(out.good(), "failed writing '" << tmp << "'");
+  }
+  FsyncPath(tmp);
+  if (keep_previous && FileExists(path)) {
+    const std::string prev = path + ".prev";
+    std::remove(prev.c_str());
+    CULDA_CHECK_MSG(std::rename(path.c_str(), prev.c_str()) == 0,
+                    "cannot rotate '" << path << "' to '" << prev << "'");
+  }
+  CULDA_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot rename '" << tmp << "' over '" << path << "'");
+}
+
+}  // namespace culda::io

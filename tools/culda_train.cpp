@@ -18,9 +18,11 @@
 //                       wall-clock only, results are bit-identical)
 //   --chunks-per-gpu=M  override the automatic WS1/WS2 choice
 //   --hyperopt=N        re-estimate α/β every N iterations (default off)
-//   --out=PATH          save the trained model
+//   --out=PATH          save the trained model (atomic tmp+rename write)
 //   --checkpoint=PATH   write a checkpoint after every --checkpoint-every
-//   --resume=PATH       restore a checkpoint before training
+//                       iterations (atomic; previous kept as PATH.prev)
+//   --resume=PATH       restore a checkpoint before training; falls back to
+//                       PATH.prev with a warning if PATH is missing or torn
 //   --quiet             suppress per-iteration logging
 #include <cstdio>
 #include <fstream>
@@ -99,10 +101,10 @@ int main(int argc, char** argv) {
 
     core::CuldaTrainer trainer(corpus, cfg, opts);
     if (!resume.empty()) {
-      std::ifstream in(resume, std::ios::binary);
-      CULDA_CHECK_MSG(in.good(), "cannot open checkpoint " << resume);
-      trainer.RestoreCheckpoint(in);
-      std::printf("resumed from %s at iteration %u\n", resume.c_str(),
+      // Falls back to `resume`.prev (with a warning) when the primary file
+      // is missing or torn — a crash mid-checkpoint never strands a run.
+      const std::string used = trainer.RestoreCheckpointFromFile(resume);
+      std::printf("resumed from %s at iteration %u\n", used.c_str(),
                   trainer.iteration());
     }
     std::printf("%zu x %s | M=%u (%s)\n", opts.gpus.size(),
@@ -124,8 +126,9 @@ int main(int argc, char** argv) {
             st.wall_tokens_per_sec / 1e6, trainer.LogLikelihoodPerToken());
       }
       if (!ckpt_path.empty() && (i + 1) % ckpt_every == 0) {
-        std::ofstream out(ckpt_path, std::ios::binary);
-        trainer.SaveCheckpoint(out);
+        // Atomic write + rotation: the previous checkpoint survives as
+        // `ckpt_path`.prev until the new one is fully on disk.
+        trainer.SaveCheckpointToFile(ckpt_path);
       }
     }
     std::printf(
@@ -152,5 +155,10 @@ int main(int argc, char** argv) {
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
+  } catch (const std::exception& e) {
+    // Backstop for anything that escapes the validation layer (exit 3 so
+    // scripts can tell an internal failure from a rejected input).
+    std::fprintf(stderr, "internal error: %s\n", e.what());
+    return 3;
   }
 }
