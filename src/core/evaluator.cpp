@@ -1,13 +1,45 @@
 #include "core/evaluator.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <vector>
 
 #include "util/check.hpp"
 
 namespace culda::core {
 
+namespace {
+
+/// Memo table for lgamma(c + shift) over small integer c. The counts in θ
+/// and φ are small integers, so the same handful of lgamma values is
+/// recomputed millions of times; the table stores exactly
+/// std::lgamma(double(c) + shift), so lookups are bitwise-identical to the
+/// direct calls they replace (out-of-range c falls back to the direct call).
+class LgammaShiftTable {
+ public:
+  LgammaShiftTable(double shift, size_t entries)
+      : shift_(shift), table_(entries) {
+    for (size_t c = 0; c < entries; ++c) {
+      table_[c] = std::lgamma(static_cast<double>(c) + shift_);
+    }
+  }
+
+  double operator()(int64_t c) const {
+    return c >= 0 && static_cast<size_t>(c) < table_.size()
+               ? table_[static_cast<size_t>(c)]
+               : std::lgamma(static_cast<double>(c) + shift_);
+  }
+
+ private:
+  double shift_;
+  std::vector<double> table_;
+};
+
+}  // namespace
+
 double LogLikelihoodPerToken(const GatheredModel& model,
-                             const CuldaConfig& cfg) {
+                             const CuldaConfig& cfg, ThreadPool* pool) {
   const double beta = cfg.beta;
   const uint32_t k_topics = model.num_topics;
   const uint32_t v_words = model.vocab_size;
@@ -16,47 +48,103 @@ double LogLikelihoodPerToken(const GatheredModel& model,
   const double alpha = cfg.EffectiveAlpha();
   const double alpha_sum = cfg.AlphaSum();
 
-  const double lg_alpha = std::lgamma(alpha);
   const double lg_beta = std::lgamma(beta);
   const double lg_alpha_sum = std::lgamma(alpha_sum);
   const double lg_v_beta = std::lgamma(v_words * beta);
+  // lΓ(α_k) per topic (one value when symmetric).
+  std::vector<double> lg_alpha_k;
+  if (!symmetric) {
+    lg_alpha_k.resize(k_topics);
+    for (uint32_t k = 0; k < k_topics; ++k) {
+      lg_alpha_k[k] = std::lgamma(cfg.asymmetric_alpha[k]);
+    }
+  }
+  const double lg_alpha = symmetric ? std::lgamma(alpha) : 0.0;
 
-  double ll = 0;
-  uint64_t total_tokens = 0;
+  // φ counts are uint16, so one full-range table covers every cell; θ
+  // counts are bounded by the longest document (capped — longer rows fall
+  // back to direct lgamma).
+  const LgammaShiftTable lg_phi(beta, size_t{1} << 16);
+  size_t theta_entries = 0;
+  if (symmetric) {
+    int32_t max_theta = 0;
+    for (const int32_t v : model.theta.values()) {
+      max_theta = std::max(max_theta, v);
+    }
+    theta_entries =
+        std::min<size_t>(static_cast<size_t>(max_theta) + 1, size_t{1} << 20);
+  }
+  const LgammaShiftTable lg_theta(alpha, theta_entries);
+
+  const auto run = [&](size_t n, const std::function<void(size_t)>& fn) {
+    if (pool != nullptr) {
+      pool->ParallelFor(n, fn);
+    } else {
+      for (size_t i = 0; i < n; ++i) fn(i);
+    }
+  };
 
   // Document side: Σ_k lΓ(θ_dk + α_k) − Σ_k lΓ(α_k) + lΓ(Σα) − lΓ(len+Σα);
   // zero entries cancel pairwise, so only the non-zeros contribute deltas.
-  for (size_t d = 0; d < model.theta.rows(); ++d) {
-    const auto idx = model.theta.RowIndices(d);
-    const auto vals = model.theta.RowValues(d);
-    uint64_t len = 0;
-    double row = 0;
-    for (size_t i = 0; i < vals.size(); ++i) {
-      const double a_k = symmetric ? alpha : cfg.asymmetric_alpha[idx[i]];
-      row += std::lgamma(vals[i] + a_k) -
-             (symmetric ? lg_alpha : std::lgamma(a_k));
-      len += static_cast<uint64_t>(vals[i]);
+  // Fixed-size chunks (not worker-count-sized ranges) keep the reduction
+  // order — and thus the value — independent of the pool.
+  constexpr size_t kDocChunk = 256;
+  const size_t num_docs = model.theta.rows();
+  const size_t doc_chunks = (num_docs + kDocChunk - 1) / kDocChunk;
+  std::vector<double> chunk_ll(doc_chunks, 0.0);
+  std::vector<uint64_t> chunk_tokens(doc_chunks, 0);
+  run(doc_chunks, [&](size_t c) {
+    const size_t begin = c * kDocChunk;
+    const size_t end = std::min(num_docs, begin + kDocChunk);
+    double ll = 0;
+    uint64_t tokens = 0;
+    for (size_t d = begin; d < end; ++d) {
+      const auto idx = model.theta.RowIndices(d);
+      const auto vals = model.theta.RowValues(d);
+      uint64_t len = 0;
+      double row = 0;
+      for (size_t i = 0; i < vals.size(); ++i) {
+        if (symmetric) {
+          row += lg_theta(vals[i]) - lg_alpha;
+        } else {
+          const double a_k = cfg.asymmetric_alpha[idx[i]];
+          row += std::lgamma(vals[i] + a_k) - lg_alpha_k[idx[i]];
+        }
+        len += static_cast<uint64_t>(vals[i]);
+      }
+      ll += row + lg_alpha_sum -
+            std::lgamma(static_cast<double>(len) + alpha_sum);
+      tokens += len;
     }
-    ll += row + lg_alpha_sum -
-          std::lgamma(static_cast<double>(len) + alpha_sum);
-    total_tokens += len;
-  }
+    chunk_ll[c] = ll;
+    chunk_tokens[c] = tokens;
+  });
 
-  // Topic side.
-  for (uint32_t k = 0; k < k_topics; ++k) {
+  // Topic side: one partial per φ row, reduced in topic order.
+  std::vector<double> topic_ll(k_topics, 0.0);
+  run(k_topics, [&](size_t k) {
     const auto row = model.phi.Row(k);
     double acc = 0;
     uint64_t nonzero = 0;
     for (const uint16_t c : row) {
       if (c != 0) {
-        acc += std::lgamma(static_cast<double>(c) + beta);
+        acc += lg_phi(c);
         ++nonzero;
       }
     }
     acc += static_cast<double>(v_words - nonzero) * lg_beta;
-    ll += acc - v_words * lg_beta + lg_v_beta -
-          std::lgamma(static_cast<double>(model.nk[k]) + v_words * beta);
+    topic_ll[k] = acc - v_words * lg_beta + lg_v_beta -
+                  std::lgamma(static_cast<double>(model.nk[k]) +
+                              v_words * beta);
+  });
+
+  double ll = 0;
+  uint64_t total_tokens = 0;
+  for (size_t c = 0; c < doc_chunks; ++c) {
+    ll += chunk_ll[c];
+    total_tokens += chunk_tokens[c];
   }
+  for (uint32_t k = 0; k < k_topics; ++k) ll += topic_ll[k];
 
   CULDA_CHECK_MSG(total_tokens > 0, "model covers no tokens");
   return ll / static_cast<double>(total_tokens);

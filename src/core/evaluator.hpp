@@ -12,13 +12,22 @@
 
 #include "core/config.hpp"
 #include "core/model.hpp"
+#include "util/thread_pool.hpp"
 
 namespace culda::core {
 
 /// Computes log-likelihood per token of a gathered model. Only the non-zero
 /// entries of θ and φ contribute beyond the closed-form zero terms, so the
 /// cost is O(nnz(θ) + nnz(φ)).
+///
+/// The lgamma arguments are small integers plus a constant, so the values
+/// are served from memo tables built once per call (bitwise-identical to
+/// direct lgamma — the tables just cache its results). With a pool, θ rows
+/// fan out in fixed 256-document chunks and φ rows per topic; partials are
+/// reduced in chunk/topic order, so the result does not depend on the
+/// worker count (or on whether a pool is passed at all).
 double LogLikelihoodPerToken(const GatheredModel& model,
-                             const CuldaConfig& cfg);
+                             const CuldaConfig& cfg,
+                             ThreadPool* pool = nullptr);
 
 }  // namespace culda::core

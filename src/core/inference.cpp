@@ -8,17 +8,74 @@
 
 namespace culda::core {
 
-InferenceEngine::InferenceEngine(const GatheredModel& model, CuldaConfig cfg)
-    : model_(&model), cfg_(std::move(cfg)) {
+InferenceEngine::InferenceEngine(const GatheredModel& model, CuldaConfig cfg,
+                                 InferenceOptions options)
+    : model_(&model), cfg_(std::move(cfg)), options_(options) {
   cfg_.Validate();
   CULDA_CHECK_MSG(model.num_topics == cfg_.num_topics,
                   "model K (" << model.num_topics
                               << ") differs from config K ("
                               << cfg_.num_topics << ")");
   topic_denom_.resize(model.num_topics);
+  inv_denom_.resize(model.num_topics);
   for (uint32_t k = 0; k < model.num_topics; ++k) {
     topic_denom_[k] = static_cast<double>(model.nk[k]) +
                       cfg_.beta * model.vocab_size;
+    inv_denom_[k] = 1.0 / topic_denom_[k];
+  }
+  BuildSmoothingTree();
+  BuildWordColumns();
+}
+
+void InferenceEngine::BuildSmoothingTree() {
+  const uint32_t k_topics = model_->num_topics;
+  smooth_storage_.resize(
+      IndexTreeView::StorageSlots(k_topics, cfg_.tree_fanout));
+  smooth_tree_ = IndexTreeView(smooth_storage_, k_topics, cfg_.tree_fanout);
+  std::vector<float> terms(k_topics);
+  smooth_mass_ = 0;
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    const double s_k = cfg_.AlphaOf(k) * cfg_.beta * inv_denom_[k];
+    smooth_mass_ += s_k;
+    terms[k] = static_cast<float>(s_k);
+  }
+  smooth_tree_.Build(terms);
+}
+
+void InferenceEngine::BuildWordColumns() {
+  const uint32_t k_topics = model_->num_topics;
+  const uint32_t v_words = model_->vocab_size;
+
+  // Counting-sort transpose of the dense φ: pass 1 sizes the columns,
+  // pass 2 (k ascending) appends, so each column's topics come out sorted.
+  col_ptr_.assign(v_words + 1, 0);
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    const auto row = model_->phi.Row(k);
+    for (uint32_t v = 0; v < v_words; ++v) {
+      if (row[v] != 0) ++col_ptr_[v + 1];
+    }
+  }
+  for (uint32_t v = 0; v < v_words; ++v) col_ptr_[v + 1] += col_ptr_[v];
+
+  col_topic_.resize(col_ptr_[v_words]);
+  std::vector<uint64_t> cursor(col_ptr_.begin(), col_ptr_.end() - 1);
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    const auto row = model_->phi.Row(k);
+    for (uint32_t v = 0; v < v_words; ++v) {
+      if (row[v] != 0) col_topic_[cursor[v]++] = static_cast<uint16_t>(k);
+    }
+  }
+
+  col_prefix_.resize(col_topic_.size());
+  word_mass_.assign(v_words, 0.0);
+  for (uint32_t v = 0; v < v_words; ++v) {
+    double acc = 0;
+    for (uint64_t j = col_ptr_[v]; j < col_ptr_[v + 1]; ++j) {
+      const uint32_t k = col_topic_[j];
+      acc += WordTerm(k, model_->phi(k, v));
+      col_prefix_[j] = acc;
+    }
+    word_mass_[v] = acc;
   }
 }
 
@@ -28,66 +85,172 @@ double InferenceEngine::WordGivenTopic(uint32_t word, uint32_t k) const {
          topic_denom_[k];
 }
 
-InferenceResult InferenceEngine::InferDocument(
-    std::span<const uint32_t> words, uint32_t iterations,
-    uint64_t seed) const {
+double InferenceEngine::WordMass(uint32_t word) const {
+  CULDA_CHECK(word < model_->vocab_size);
+  return word_mass_[word];
+}
+
+void InferenceEngine::EnsureScratch(Scratch& s) const {
+  if (s.count.size() != model_->num_topics) {
+    s.count.assign(model_->num_topics, 0);
+    s.nz.clear();
+  }
+}
+
+namespace {
+
+/// Sorted-insert / sorted-erase maintenance of the nonzero-topic list; the
+/// ascending order is load-bearing — every bucket sum iterates it so the
+/// float association matches the dense reference's k-ascending scan.
+inline void IncCount(std::vector<int32_t>& count, std::vector<uint32_t>& nz,
+                     uint32_t k) {
+  if (count[k]++ == 0) {
+    nz.insert(std::lower_bound(nz.begin(), nz.end(), k), k);
+  }
+}
+
+inline void DecCount(std::vector<int32_t>& count, std::vector<uint32_t>& nz,
+                     uint32_t k) {
+  if (--count[k] == 0) {
+    nz.erase(std::lower_bound(nz.begin(), nz.end(), k));
+  }
+}
+
+}  // namespace
+
+void InferenceEngine::BucketMasses(uint32_t word, const Scratch& s,
+                                   double* q, double* w) const {
+  if (options_.sampler == InferSampler::kSparseBucket) {
+    double acc = 0;
+    for (const uint32_t k : s.nz) {
+      acc += DocTerm(k, s.count[k], model_->phi(k, word));
+    }
+    *q = acc;
+    *w = word_mass_[word];
+    return;
+  }
+  // Dense reference: one full pass down the φ column, both masses at once.
+  double q_acc = 0, w_acc = 0;
   const uint32_t k_topics = model_->num_topics;
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    const uint16_t f = model_->phi(k, word);
+    const int32_t c = s.count[k];
+    if (c != 0) q_acc += DocTerm(k, c, f);
+    if (f != 0) w_acc += WordTerm(k, f);
+  }
+  *q = q_acc;
+  *w = w_acc;
+}
+
+uint32_t InferenceEngine::SampleTopic(uint32_t word, double q, double w,
+                                      double u, const Scratch& s) const {
+  const bool sparse = options_.sampler == InferSampler::kSparseBucket;
+  if (u < q) {
+    // Doc bucket: rescan the same DocTerm sequence until the running prefix
+    // exceeds u. The final prefix equals q exactly (same terms, same
+    // order), so the scan always terminates inside the loop; the clamp is a
+    // belt for impossible round-off.
+    double acc = 0;
+    if (sparse) {
+      for (const uint32_t k : s.nz) {
+        acc += DocTerm(k, s.count[k], model_->phi(k, word));
+        if (acc > u) return k;
+      }
+      return s.nz.back();
+    }
+    uint32_t last = 0;
+    for (uint32_t k = 0; k < model_->num_topics; ++k) {
+      const int32_t c = s.count[k];
+      if (c == 0) continue;
+      acc += DocTerm(k, c, model_->phi(k, word));
+      if (acc > u) return k;
+      last = k;
+    }
+    return last;
+  }
+  const double uw = u - q;
+  if (uw < w) {
+    // Word bucket. The sparse mode binary-searches the precomputed column
+    // prefix; the dense mode rescans the same WordTerm sequence linearly —
+    // the prefix values are bitwise the same, so both find the same topic.
+    if (sparse) {
+      const uint64_t begin = col_ptr_[word];
+      const uint64_t len = col_ptr_[word + 1] - begin;
+      const std::span<const double> prefix(col_prefix_.data() + begin, len);
+      const size_t j = static_cast<size_t>(
+          std::upper_bound(prefix.begin(), prefix.end(), uw) -
+          prefix.begin());
+      return col_topic_[begin + std::min(j, static_cast<size_t>(len - 1))];
+    }
+    double acc = 0;
+    uint32_t last = 0;
+    for (uint32_t k = 0; k < model_->num_topics; ++k) {
+      const uint16_t f = model_->phi(k, word);
+      if (f == 0) continue;
+      acc += WordTerm(k, f);
+      if (acc > uw) return k;
+      last = k;
+    }
+    return last;
+  }
+  // Smoothing bucket: the prebuilt F-ary tree over the cached p*(k) terms
+  // (shared by both modes; Search clamps float round-off to K-1).
+  const double us = uw - w;
+  return static_cast<uint32_t>(smooth_tree_.Search(static_cast<float>(us)));
+}
+
+void InferenceEngine::FoldIn(std::span<const uint32_t> words,
+                             uint32_t iterations, uint64_t seed,
+                             Scratch& s) const {
+  EnsureScratch(s);
+  for (const uint32_t k : s.nz) s.count[k] = 0;  // O(nnz) reset
+  s.nz.clear();
+  s.z.clear();
+
   for (const uint32_t w : words) {
     CULDA_CHECK_MSG(w < model_->vocab_size,
                     "word id " << w << " not in the trained vocabulary");
   }
+  if (words.empty()) return;
 
-  InferenceResult result;
-  result.topic_counts.assign(k_topics, 0);
-  result.tokens = words.size();
-  if (words.empty()) return result;
-
-  // Random init, then fold-in Gibbs with φ fixed.
-  std::vector<uint16_t> z(words.size());
-  {
-    PhiloxStream rng(seed, 0);
-    for (size_t i = 0; i < words.size(); ++i) {
-      z[i] = static_cast<uint16_t>(rng.NextBelow(k_topics));
-      ++result.topic_counts[z[i]];
-    }
+  // One counter-advanced stream per document (stream id 0 of `seed`):
+  // len NextBelow draws for the init, then one NextDouble per token per
+  // sweep. Pinned by Inference.PinnedSamplingSequence.
+  PhiloxStream rng(seed, 0);
+  s.z.resize(words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    const uint32_t k = rng.NextBelow(model_->num_topics);
+    s.z[i] = static_cast<uint16_t>(k);
+    IncCount(s.count, s.nz, k);
   }
-  std::vector<double> cdf(k_topics);
+
   for (uint32_t it = 1; it <= iterations; ++it) {
     for (size_t i = 0; i < words.size(); ++i) {
-      const uint32_t w = words[i];
-      --result.topic_counts[z[i]];
-      double total = 0;
-      for (uint32_t k = 0; k < k_topics; ++k) {
-        total += (result.topic_counts[k] + cfg_.AlphaOf(k)) *
-                 WordGivenTopic(w, k);
-        cdf[k] = total;
-      }
-      PhiloxStream rng(seed, (static_cast<uint64_t>(it) << 32) ^ i);
-      const double u = rng.NextDouble() * total;
-      uint16_t k = static_cast<uint16_t>(k_topics - 1);
-      for (uint32_t c = 0; c < k_topics; ++c) {
-        if (cdf[c] > u) {
-          k = static_cast<uint16_t>(c);
-          break;
-        }
-      }
-      z[i] = k;
-      ++result.topic_counts[k];
+      const uint32_t v = words[i];
+      DecCount(s.count, s.nz, s.z[i]);
+      double q, w;
+      BucketMasses(v, s, &q, &w);
+      const double u = rng.NextDouble() * ((q + w) + smooth_mass_);
+      const uint32_t k = SampleTopic(v, q, w, u, s);
+      s.z[i] = static_cast<uint16_t>(k);
+      IncCount(s.count, s.nz, k);
     }
   }
+}
 
-  result.assignments = std::move(z);
-
+InferenceResult InferenceEngine::ResultFromScratch(
+    std::span<const uint32_t> words, const Scratch& s) const {
+  InferenceResult result;
+  result.topic_counts.assign(model_->num_topics, 0);
+  result.tokens = words.size();
+  result.assignments.assign(s.z.begin(), s.z.end());
+  const double denom = static_cast<double>(words.size()) + cfg_.AlphaSum();
+  for (const uint32_t k : s.nz) {
+    result.topic_counts[k] = s.count[k];
+    result.mixture.push_back(
+        {k, s.count[k], (s.count[k] + cfg_.AlphaOf(k)) / denom});
+  }
   // Smoothed mixture, largest first.
-  const double denom =
-      static_cast<double>(words.size()) + cfg_.AlphaSum();
-  for (uint32_t k = 0; k < k_topics; ++k) {
-    if (result.topic_counts[k] != 0) {
-      result.mixture.push_back(
-          {k, result.topic_counts[k],
-           (result.topic_counts[k] + cfg_.AlphaOf(k)) / denom});
-    }
-  }
   std::sort(result.mixture.begin(), result.mixture.end(),
             [](const DocTopic& a, const DocTopic& b) {
               if (a.count != b.count) return a.count > b.count;
@@ -96,35 +259,93 @@ InferenceResult InferenceEngine::InferDocument(
   return result;
 }
 
+InferenceResult InferenceEngine::InferDocument(
+    std::span<const uint32_t> words, uint32_t iterations,
+    uint64_t seed) const {
+  Scratch s;
+  FoldIn(words, iterations, seed, s);
+  return ResultFromScratch(words, s);
+}
+
+std::vector<InferenceResult> InferenceEngine::InferBatch(
+    std::span<const std::vector<uint32_t>> docs, uint32_t iterations,
+    std::span<const uint64_t> seeds) const {
+  CULDA_CHECK_MSG(seeds.size() == docs.size(),
+                  "InferBatch needs one seed per document (got "
+                      << seeds.size() << " for " << docs.size() << ")");
+  std::vector<InferenceResult> results(docs.size());
+  ThreadPool* pool = options_.pool;
+  const size_t slots = pool != nullptr ? pool->worker_count() + 1 : 1;
+  std::vector<Scratch> scratch(slots);
+  const auto body = [&](size_t i) {
+    Scratch& s =
+        scratch[pool != nullptr ? pool->current_worker_id() + 1 : 0];
+    FoldIn(docs[i], iterations, seeds[i], s);
+    results[i] = ResultFromScratch(docs[i], s);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(docs.size(), body);
+  } else {
+    for (size_t i = 0; i < docs.size(); ++i) body(i);
+  }
+  return results;
+}
+
+std::vector<InferenceResult> InferenceEngine::InferBatch(
+    std::span<const std::vector<uint32_t>> docs, uint32_t iterations,
+    uint64_t seed) const {
+  std::vector<uint64_t> seeds(docs.size());
+  for (size_t i = 0; i < seeds.size(); ++i) seeds[i] = seed + i;
+  return InferBatch(docs, iterations, seeds);
+}
+
 double InferenceEngine::DocumentCompletionPerplexity(
     const corpus::Corpus& heldout, uint32_t iterations,
     uint64_t seed) const {
   CULDA_CHECK(heldout.vocab_size() <= model_->vocab_size);
-  const uint32_t k_topics = model_->num_topics;
+
+  // Per-document partials reduced in document order below: the value is
+  // independent of the worker count (and of whether a pool is set at all).
+  const size_t num_docs = heldout.num_docs();
+  std::vector<double> partial(num_docs, 0.0);
+  std::vector<uint64_t> scored(num_docs, 0);
+  ThreadPool* pool = options_.pool;
+  const size_t slots = pool != nullptr ? pool->worker_count() + 1 : 1;
+  std::vector<Scratch> scratch(slots);
+  const auto body = [&](size_t d) {
+    const auto tokens = heldout.DocTokens(d);
+    if (tokens.size() < 2) return;
+    Scratch& s =
+        scratch[pool != nullptr ? pool->current_worker_id() + 1 : 0];
+    const size_t half = tokens.size() / 2;
+    FoldIn(tokens.subspan(0, half), iterations, seed + d, s);
+    const double denom = static_cast<double>(half) + cfg_.AlphaSum();
+    double log_prob = 0;
+    for (size_t i = half; i < tokens.size(); ++i) {
+      double q, w;
+      BucketMasses(tokens[i], s, &q, &w);
+      // p(w | θ̂_d, φ̂) = (Q + W + S) / (half + Σα) — the same bucket sums
+      // as sampling, so dense and sparse scoring agree bitwise too.
+      log_prob += std::log(((q + w) + smooth_mass_) / denom);
+    }
+    partial[d] = log_prob;
+    scored[d] = tokens.size() - half;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_docs, body);
+  } else {
+    for (size_t d = 0; d < num_docs; ++d) body(d);
+  }
 
   double log_prob = 0;
-  uint64_t scored = 0;
-  for (size_t d = 0; d < heldout.num_docs(); ++d) {
-    const auto tokens = heldout.DocTokens(d);
-    if (tokens.size() < 2) continue;
-    const size_t half = tokens.size() / 2;
-
-    const InferenceResult fold = InferDocument(
-        tokens.subspan(0, half), iterations, seed + d);
-    const double denom = static_cast<double>(half) + cfg_.AlphaSum();
-
-    for (size_t i = half; i < tokens.size(); ++i) {
-      double p = 0;
-      for (uint32_t k = 0; k < k_topics; ++k) {
-        p += (fold.topic_counts[k] + cfg_.AlphaOf(k)) / denom *
-             WordGivenTopic(tokens[i], k);
-      }
-      log_prob += std::log(p);
-      ++scored;
-    }
+  uint64_t total_scored = 0;
+  for (size_t d = 0; d < num_docs; ++d) {
+    log_prob += partial[d];
+    total_scored += scored[d];
   }
-  CULDA_CHECK_MSG(scored > 0, "held-out corpus has no scorable tokens");
-  return std::exp(-log_prob / static_cast<double>(scored));
+  CULDA_CHECK_MSG(total_scored > 0,
+                  "held-out corpus has no scorable tokens");
+  return std::exp(-log_prob / static_cast<double>(total_scored));
 }
 
 }  // namespace culda::core

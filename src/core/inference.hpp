@@ -7,6 +7,35 @@
 // tokens with φ *fixed* — only the document's own topic counts move — and
 // also provides document-completion perplexity, the standard held-out
 // quality metric.
+//
+// Sampling specification (the serving analogue of the paper's Algorithm 2;
+// see docs/serving.md). With φ fixed, the fold-in conditional factors into
+// three buckets:
+//
+//   p(z = k | w = v) ∝ n_dk·(φ_kv + β)/(n_k + βV)     Q  doc bucket
+//                    + α_k·φ_kv/(n_k + βV)            W  word bucket
+//                    + α_k·β/(n_k + βV)               S  smoothing bucket
+//
+// Q is nonzero only on the document's topics (O(nnz(θ_d)) per token), W only
+// on word v's φ column — document-independent, so its mass and an inclusive
+// prefix over the column are precomputed once per engine — and S is a model
+// constant sampled through a prebuilt F-ary IndexTreeView over the cached
+// p*(k) = α_k·β/(n_k + βV) terms. One uniform double per token selects the
+// bucket (Q first, then W, then S) and the topic within it by
+// minimal-prefix-exceeding-u search.
+//
+// Both sampler modes implement this same specification with identical
+// double-precision term order, so their topic assignments — and therefore
+// perplexities — are bit-identical; they differ only in per-token cost:
+// kDenseReference recomputes the Q and W masses by a full O(K) scan of the
+// φ column, kSparseBucket reads the cached column mass and walks only the
+// document's nonzero topics.
+//
+// RNG contract: each document consumes exactly one PhiloxStream — stream id
+// 0 of its seed — advanced in token order: len(doc) NextBelow(K) draws for
+// the random init, then one NextDouble per token per sweep. This replaces
+// the per-token stream reconstruction of the original engine and is pinned
+// by Inference.PinnedSamplingSequence in tests/test_inference.cpp.
 #pragma once
 
 #include <cstdint>
@@ -14,9 +43,11 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/index_tree.hpp"
 #include "core/model.hpp"
 #include "core/topics.hpp"
 #include "corpus/corpus.hpp"
+#include "util/thread_pool.hpp"
 
 namespace culda::core {
 
@@ -27,10 +58,38 @@ struct InferenceResult {
   uint64_t tokens = 0;                   ///< in-vocabulary tokens used
 };
 
+/// Which per-token evaluation strategy the engine uses. Both produce
+/// bit-identical assignments (see the header comment); kDenseReference
+/// exists as the O(K)-per-token validation baseline and the bench's
+/// "before" measurement.
+enum class InferSampler {
+  kSparseBucket,     ///< O(nnz(θ_d)) per token via cached column masses
+  kDenseReference,   ///< O(K) per token, full φ-column scan
+};
+
+struct InferenceOptions {
+  InferSampler sampler = InferSampler::kSparseBucket;
+  /// Pool for InferBatch / DocumentCompletionPerplexity document fan-out
+  /// (nullptr = sequential). Results are bit-identical at any worker count:
+  /// documents are independent (one Philox stream each) and reductions run
+  /// in document order.
+  ThreadPool* pool = nullptr;
+};
+
 class InferenceEngine {
  public:
-  /// `model` must outlive the engine. Precomputes φ̂ columns' denominators.
-  InferenceEngine(const GatheredModel& model, CuldaConfig cfg);
+  /// `model` must outlive the engine. Precomputes the per-topic inverse
+  /// denominators 1/(n_k + βV), the smoothing-bucket index tree, and a
+  /// CSC-style transpose of φ (per-word topic lists with inclusive
+  /// word-bucket prefix sums) — O(K·V) once, O(nnz(θ_d)) per token after.
+  InferenceEngine(const GatheredModel& model, CuldaConfig cfg,
+                  InferenceOptions options = {});
+
+  // The smoothing-tree view points into this engine's own storage.
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  const InferenceOptions& options() const { return options_; }
 
   /// Infers the topic mixture of a new document given as word ids
   /// (out-of-vocabulary ids are rejected). Deterministic in `seed`.
@@ -38,11 +97,27 @@ class InferenceEngine {
                                 uint32_t iterations = 20,
                                 uint64_t seed = 7) const;
 
+  /// Batched fold-in: result[i] is bit-identical to
+  /// InferDocument(docs[i], iterations, seeds[i]). Documents fan out over
+  /// options().pool with one reusable scratch per worker (zero allocations
+  /// per token); sequential when no pool is set.
+  std::vector<InferenceResult> InferBatch(
+      std::span<const std::vector<uint32_t>> docs, uint32_t iterations,
+      std::span<const uint64_t> seeds) const;
+
+  /// Convenience overload: document i uses seed `seed + i`.
+  std::vector<InferenceResult> InferBatch(
+      std::span<const std::vector<uint32_t>> docs, uint32_t iterations = 20,
+      uint64_t seed = 7) const;
+
   /// Document-completion perplexity over `heldout`: the first half of each
-  /// document's tokens estimates θ̂_d by fold-in, the second half is scored:
+  /// document's tokens estimates θ̂_d by fold-in (seed + d), the second half
+  /// is scored:
   ///   ppl = exp( − Σ log p(w | θ̂_d, φ̂) / N_scored ).
   /// Lower is better; a well-trained model beats a random φ by a wide
-  /// margin.
+  /// margin. Documents are scored in parallel on options().pool with
+  /// per-document partials reduced in document order, so the value is
+  /// bit-identical at any worker count.
   double DocumentCompletionPerplexity(const corpus::Corpus& heldout,
                                       uint32_t iterations = 20,
                                       uint64_t seed = 7) const;
@@ -50,10 +125,70 @@ class InferenceEngine {
   /// p(w | k) under the smoothed trained model.
   double WordGivenTopic(uint32_t word, uint32_t k) const;
 
+  /// Smoothing-bucket mass S = Σ_k α_k·β/(n_k + βV) (model constant).
+  double SmoothingMass() const { return smooth_mass_; }
+  /// Word bucket mass W(v) = Σ_k α_k·φ_kv/(n_k + βV).
+  double WordMass(uint32_t word) const;
+
  private:
+  /// Reusable per-worker state: the document's dense topic counts, its
+  /// sorted nonzero-topic list, and the assignment vector. Reset costs
+  /// O(nnz) — only previously touched counts are zeroed.
+  struct Scratch {
+    std::vector<int32_t> count;   ///< dense, length K (lazily sized)
+    std::vector<uint32_t> nz;     ///< nonzero topics, ascending
+    std::vector<uint16_t> z;      ///< per-token assignment
+  };
+
+  // Shared term definitions — the bucket masses and their in-bucket
+  // prefixes are sums of exactly these expressions in ascending-k order in
+  // every code path, which is what makes the two sampler modes bit-equal.
+  double DocTerm(uint32_t k, int32_t count, uint16_t phi_kv) const {
+    return static_cast<double>(count) *
+           ((static_cast<double>(phi_kv) + cfg_.beta) * inv_denom_[k]);
+  }
+  double WordTerm(uint32_t k, uint16_t phi_kv) const {
+    return cfg_.AlphaOf(k) * static_cast<double>(phi_kv) * inv_denom_[k];
+  }
+
+  void BuildSmoothingTree();
+  void BuildWordColumns();
+
+  /// Runs the fold-in sweeps for one document into `s` (counts, nz list,
+  /// assignments). `words` must all be in-vocabulary (checked).
+  void FoldIn(std::span<const uint32_t> words, uint32_t iterations,
+              uint64_t seed, Scratch& s) const;
+  /// One conditional draw: picks the bucket from `u` ∈ [0, q+w+S) and the
+  /// topic within it. `q`/`w` must be this token's bucket masses.
+  uint32_t SampleTopic(uint32_t word, double q, double w, double u,
+                       const Scratch& s) const;
+  /// Q and W masses for (document state, word) under the configured mode.
+  void BucketMasses(uint32_t word, const Scratch& s, double* q,
+                    double* w) const;
+  void EnsureScratch(Scratch& s) const;
+  InferenceResult ResultFromScratch(std::span<const uint32_t> words,
+                                    const Scratch& s) const;
+
   const GatheredModel* model_;
   CuldaConfig cfg_;
+  InferenceOptions options_;
   std::vector<double> topic_denom_;  ///< n_k + βV per topic
+  std::vector<double> inv_denom_;    ///< 1/(n_k + βV) per topic
+
+  // Smoothing bucket: cached p*(k) terms, their double mass, and the F-ary
+  // index tree (float, cfg.tree_fanout) both modes search through.
+  double smooth_mass_ = 0;
+  std::vector<float> smooth_storage_;
+  IndexTreeView smooth_tree_;
+
+  // CSC-style transpose of φ: for word v, col_topic_[col_ptr_[v]..
+  // col_ptr_[v+1]) are the topics with φ_kv > 0 in ascending order and
+  // col_prefix_ the inclusive prefix sums of their WordTerm values;
+  // word_mass_[v] is the column total.
+  std::vector<uint64_t> col_ptr_;
+  std::vector<uint16_t> col_topic_;
+  std::vector<double> col_prefix_;
+  std::vector<double> word_mass_;
 };
 
 }  // namespace culda::core

@@ -15,16 +15,28 @@ OnlineTrainer::OnlineTrainer(corpus::Corpus initial_corpus, CuldaConfig cfg,
   trainer_->Train(initial_iterations);
 }
 
+const InferenceEngine& OnlineTrainer::ServingEngine() {
+  if (serving_engine_ == nullptr) {
+    served_model_ = std::make_unique<GatheredModel>(trainer_->Gather());
+    InferenceOptions options;
+    options.pool = opts_.pool;
+    serving_engine_ =
+        std::make_unique<InferenceEngine>(*served_model_, cfg_, options);
+  }
+  return *serving_engine_;
+}
+
+void OnlineTrainer::InvalidateServingEngine() {
+  serving_engine_.reset();
+  served_model_.reset();
+}
+
 InferenceResult OnlineTrainer::AddDocument(std::vector<uint32_t> words) {
   for (const uint32_t w : words) {
     CULDA_CHECK_MSG(w < corpus_.vocab_size(),
                     "online documents must use the trained vocabulary");
   }
-  // The engine keeps a pointer to the model, so the gathered copy must
-  // outlive the InferDocument call below.
-  const GatheredModel model = trainer_->Gather();
-  const InferenceEngine engine(model, cfg_);
-  InferenceResult result = engine.InferDocument(
+  InferenceResult result = ServingEngine().InferDocument(
       words, /*iterations=*/20,
       /*seed=*/cfg_.seed ^ (pending_docs_.size() + 0x9E3779B9ull));
   pending_z_.push_back(result.assignments);
@@ -32,7 +44,31 @@ InferenceResult OnlineTrainer::AddDocument(std::vector<uint32_t> words) {
   return result;
 }
 
+std::vector<InferenceResult> OnlineTrainer::AddDocuments(
+    std::vector<std::vector<uint32_t>> docs) {
+  for (const auto& doc : docs) {
+    for (const uint32_t w : doc) {
+      CULDA_CHECK_MSG(w < corpus_.vocab_size(),
+                      "online documents must use the trained vocabulary");
+    }
+  }
+  // Same per-document seeds as sequential AddDocument calls would use, so
+  // the batched fold-in is bit-identical to the one-at-a-time path.
+  std::vector<uint64_t> seeds(docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    seeds[i] = cfg_.seed ^ (pending_docs_.size() + i + 0x9E3779B9ull);
+  }
+  std::vector<InferenceResult> results =
+      ServingEngine().InferBatch(docs, /*iterations=*/20, seeds);
+  for (size_t i = 0; i < docs.size(); ++i) {
+    pending_z_.push_back(results[i].assignments);
+    pending_docs_.push_back(std::move(docs[i]));
+  }
+  return results;
+}
+
 void OnlineTrainer::Absorb(uint32_t refresh_iterations) {
+  InvalidateServingEngine();  // refresh sweeps change φ
   if (pending_docs_.empty()) {
     trainer_->Train(refresh_iterations);
     return;
@@ -81,6 +117,7 @@ void OnlineTrainer::RestoreCheckpoint(std::istream& in) {
                       << " pending documents would be orphaned by this "
                          "restore; call Absorb() first");
   trainer_->RestoreCheckpoint(in);
+  InvalidateServingEngine();
 }
 
 }  // namespace culda::core

@@ -37,8 +37,17 @@ class OnlineTrainer {
   uint64_t pending_documents() const { return pending_docs_.size(); }
 
   /// Classifies a new document against the current model (fold-in; does not
-  /// change the model) and queues it for the next Absorb().
+  /// change the model) and queues it for the next Absorb(). The serving
+  /// engine (gathered model + sparse φ-column cache) is built lazily and
+  /// reused across calls until the model changes.
   InferenceResult AddDocument(std::vector<uint32_t> words);
+
+  /// Batched fold-in: classifies and queues every document, fanning out
+  /// over the trainer's ThreadPool (TrainerOptions::pool) when one is set.
+  /// Bit-identical to calling AddDocument on each element in order, at any
+  /// worker count.
+  std::vector<InferenceResult> AddDocuments(
+      std::vector<std::vector<uint32_t>> docs);
 
   /// Merges all pending documents into the corpus, seeds their topics from
   /// the fold-in results, and runs `refresh_iterations` sweeps.
@@ -59,6 +68,10 @@ class OnlineTrainer {
 
  private:
   void RebuildTrainer(std::vector<uint16_t> z_doc_major);
+  /// Gathers the model and builds the sparse batched engine on first use;
+  /// anything that changes the model (Absorb, restore) invalidates it.
+  const InferenceEngine& ServingEngine();
+  void InvalidateServingEngine();
 
   corpus::Corpus corpus_;
   CuldaConfig cfg_;
@@ -66,6 +79,10 @@ class OnlineTrainer {
   std::unique_ptr<CuldaTrainer> trainer_;
   std::vector<std::vector<uint32_t>> pending_docs_;
   std::vector<std::vector<uint16_t>> pending_z_;
+  // The engine keeps a pointer into served_model_; declaration order makes
+  // it die first.
+  std::unique_ptr<GatheredModel> served_model_;
+  std::unique_ptr<InferenceEngine> serving_engine_;
 };
 
 }  // namespace culda::core

@@ -366,7 +366,7 @@ GatheredModel CuldaTrainer::Gather() const {
 }
 
 double CuldaTrainer::LogLikelihoodPerToken() const {
-  return core::LogLikelihoodPerToken(Gather(), cfg_);
+  return core::LogLikelihoodPerToken(Gather(), cfg_, opts_.pool);
 }
 
 std::vector<uint16_t> CuldaTrainer::ExportAssignments() const {

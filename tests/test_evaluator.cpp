@@ -7,6 +7,7 @@
 #include "core/evaluator.hpp"
 #include "core/trainer.hpp"
 #include "corpus/synthetic.hpp"
+#include "util/thread_pool.hpp"
 
 namespace culda::core {
 namespace {
@@ -126,6 +127,37 @@ TEST(Evaluator, ValuesInPlausibleRange) {
   // Figure 8's axis spans roughly [−15, −5].
   EXPECT_LT(ll, -4.0);
   EXPECT_GT(ll, -16.0);
+}
+
+TEST(Evaluator, ParallelMatchesSequentialBitwise) {
+  // The parallel evaluator reduces fixed 256-document chunks in chunk
+  // order, so the value must be bit-identical at any worker count — this
+  // corpus spans several chunks to exercise the chunk boundaries.
+  corpus::SyntheticProfile p;
+  p.num_docs = 700;
+  p.vocab_size = 300;
+  p.avg_doc_length = 20;
+  const auto c = corpus::GenerateCorpus(p);
+  CuldaConfig cfg;
+  cfg.num_topics = 16;
+  CuldaTrainer trainer(c, cfg, {});
+  trainer.Train(2);
+  const auto m = trainer.Gather();
+
+  const double expect = LogLikelihoodPerToken(m, cfg, nullptr);
+  for (const size_t workers : {size_t{1}, size_t{2}, size_t{8}}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(LogLikelihoodPerToken(m, cfg, &pool), expect)
+        << workers << " workers";
+  }
+
+  // Asymmetric α takes the non-memoized θ path; it must be pool-invariant
+  // too.
+  cfg.asymmetric_alpha.assign(16, 0.2);
+  cfg.asymmetric_alpha[3] = 1.5;
+  const double asym = LogLikelihoodPerToken(m, cfg, nullptr);
+  ThreadPool pool(4);
+  EXPECT_EQ(LogLikelihoodPerToken(m, cfg, &pool), asym);
 }
 
 TEST(Evaluator, EmptyModelRejected) {

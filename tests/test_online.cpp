@@ -6,6 +6,7 @@
 #include "core/trainer.hpp"
 #include "corpus/synthetic.hpp"
 #include "util/philox.hpp"
+#include "util/thread_pool.hpp"
 
 namespace culda::core {
 namespace {
@@ -124,6 +125,38 @@ TEST(OnlineTrainer, AbsorbedDocumentsKeepTheirFoldedTopics) {
 TEST(OnlineTrainer, RejectsOutOfVocabularyDocuments) {
   OnlineTrainer online(TestCorpus(), TestConfig(), {}, 2);
   EXPECT_THROW(online.AddDocument({10'000}), Error);
+  EXPECT_THROW(online.AddDocuments({{1, 2}, {10'000}}), Error);
+  // The failed batch queued nothing.
+  EXPECT_EQ(online.pending_documents(), 0u);
+}
+
+TEST(OnlineTrainer, BatchedAddMatchesSequential) {
+  // AddDocuments must be bit-identical to AddDocument-in-a-loop — same
+  // per-document seeds, same assignments — with or without a pool.
+  const auto c = TestCorpus();
+  PhiloxStream rng(5, 0);
+  std::vector<std::vector<uint32_t>> docs(9);
+  for (auto& doc : docs) {
+    for (int t = 0; t < 20; ++t) doc.push_back(rng.NextBelow(300));
+  }
+
+  OnlineTrainer one_by_one(c, TestConfig(), {}, 5);
+  std::vector<InferenceResult> expect;
+  for (const auto& doc : docs) {
+    expect.push_back(one_by_one.AddDocument(doc));
+  }
+
+  ThreadPool pool(4);
+  TrainerOptions opts;
+  opts.pool = &pool;
+  OnlineTrainer batched(c, TestConfig(), opts, 5);
+  const auto results = batched.AddDocuments(docs);
+  ASSERT_EQ(results.size(), docs.size());
+  for (size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_EQ(results[i].assignments, expect[i].assignments) << "doc " << i;
+    EXPECT_EQ(results[i].topic_counts, expect[i].topic_counts);
+  }
+  EXPECT_EQ(batched.pending_documents(), docs.size());
 }
 
 TEST(OnlineTrainer, AbsorbWithNothingPendingJustTrains) {

@@ -6,6 +6,13 @@
 // With --vocab, each stdin line is tokenized (same pipeline as training) and
 // its topic mixture printed. With --heldout-uci, document-completion
 // perplexity over the held-out corpus is reported instead.
+//
+// Serving knobs (docs/serving.md):
+//   --workers=N       host threads fanning documents out (0 = sequential);
+//                     results are bit-identical at any worker count
+//   --batch=N         stdin lines grouped per InferBatch call (default 256)
+//   --sampler=MODE    sparse (default) | dense — dense is the O(K)
+//                     reference; both produce identical output
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -16,8 +23,40 @@
 #include "corpus/uci_reader.hpp"
 #include "corpus/vocabulary.hpp"
 #include "util/cli.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace culda;
+
+namespace {
+
+struct PendingDoc {
+  std::vector<uint32_t> ids;
+  size_t oov = 0;
+};
+
+void PrintBatch(const core::InferenceEngine& engine,
+                std::vector<PendingDoc>& batch, uint32_t iters) {
+  std::vector<std::vector<uint32_t>> docs;
+  docs.reserve(batch.size());
+  for (auto& d : batch) docs.push_back(std::move(d.ids));
+  // Every line keeps the single-document default seed, so the output is
+  // independent of how lines happen to group into batches.
+  const std::vector<uint64_t> seeds(docs.size(), 7);
+  const auto results = engine.InferBatch(docs, iters, seeds);
+  for (size_t i = 0; i < results.size(); ++i) {
+    std::printf("%zu tokens (%zu OOV):", docs[i].size(), batch[i].oov);
+    int shown = 0;
+    for (const auto& dt : results[i].mixture) {
+      if (dt.proportion < 0.05 || shown >= 5) break;
+      std::printf(" topic%u=%.2f", dt.topic, dt.proportion);
+      ++shown;
+    }
+    std::printf("\n");
+  }
+  batch.clear();
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   try {
@@ -32,7 +71,25 @@ int main(int argc, char** argv) {
     cfg.beta = flags.GetDouble("beta", 0.01);
     const uint32_t iters =
         static_cast<uint32_t>(flags.GetInt("iters", 30));
-    const core::InferenceEngine engine(model, cfg);
+
+    const int64_t workers_flag = flags.GetInt("workers", 0);
+    CULDA_CHECK_MSG(workers_flag >= 0 && workers_flag <= 1024,
+                    "--workers must be in [0, 1024], got " << workers_flag);
+    ThreadPool pool(static_cast<size_t>(workers_flag));
+    const int64_t batch_size = flags.GetInt("batch", 256);
+    CULDA_CHECK_MSG(batch_size >= 1,
+                    "--batch must be >= 1, got " << batch_size);
+    const std::string sampler_name = flags.GetString("sampler", "sparse");
+    CULDA_CHECK_MSG(sampler_name == "sparse" || sampler_name == "dense",
+                    "--sampler must be sparse or dense, got "
+                        << sampler_name);
+
+    core::InferenceOptions options;
+    options.sampler = sampler_name == "dense"
+                          ? core::InferSampler::kDenseReference
+                          : core::InferSampler::kSparseBucket;
+    if (workers_flag > 0) options.pool = &pool;
+    const core::InferenceEngine engine(model, cfg, options);
 
     const std::string heldout = flags.GetString("heldout-uci", "");
     const std::string vocab_path = flags.GetString("vocab", "");
@@ -60,27 +117,23 @@ int main(int argc, char** argv) {
     popts.stopwords =
         corpus::TextPipelineOptions::DefaultEnglishStopwords();
     std::string line;
+    std::vector<PendingDoc> batch;
     while (std::getline(std::cin, line)) {
-      std::vector<uint32_t> ids;
-      size_t oov = 0;
+      PendingDoc doc;
       for (const auto& tok : corpus::TextPipeline::Tokenize(line, popts)) {
         const uint32_t id = vocab.Find(tok);
         if (id == corpus::Vocabulary::kNotFound || id >= model.vocab_size) {
-          ++oov;
+          ++doc.oov;
         } else {
-          ids.push_back(id);
+          doc.ids.push_back(id);
         }
       }
-      const auto result = engine.InferDocument(ids, iters);
-      std::printf("%zu tokens (%zu OOV):", ids.size(), oov);
-      int shown = 0;
-      for (const auto& dt : result.mixture) {
-        if (dt.proportion < 0.05 || shown >= 5) break;
-        std::printf(" topic%u=%.2f", dt.topic, dt.proportion);
-        ++shown;
+      batch.push_back(std::move(doc));
+      if (batch.size() >= static_cast<size_t>(batch_size)) {
+        PrintBatch(engine, batch, iters);
       }
-      std::printf("\n");
     }
+    if (!batch.empty()) PrintBatch(engine, batch, iters);
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -140,8 +140,12 @@ int main(int argc, char** argv) {
                        : 0.0);
 
     if (heldout_frac > 0) {
-      const core::InferenceEngine engine(trainer.Gather(),
-                                         trainer.config());
+      // The engine keeps a pointer into the gathered model, so it must
+      // outlive the perplexity call below.
+      const auto served = trainer.Gather();
+      core::InferenceOptions io;
+      io.pool = opts.pool;
+      const core::InferenceEngine engine(served, trainer.config(), io);
       std::printf("held-out document-completion perplexity: %.3f\n",
                   engine.DocumentCompletionPerplexity(heldout));
     }
