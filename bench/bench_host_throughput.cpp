@@ -12,6 +12,7 @@
 #include <fstream>
 
 #include "common.hpp"
+#include "obs/sink.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace culda;
@@ -126,6 +127,7 @@ int main(int argc, char** argv) {
        << "  \"iters\": " << iters << ",\n"
        << "  \"deterministic\": " << (deterministic ? "true" : "false")
        << ",\n"
+       << "  \"metrics_schema\": \"" << obs::kMetricsSchema << "\",\n"
        << "  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const HostRun& r = runs[i];

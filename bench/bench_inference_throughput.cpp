@@ -9,12 +9,17 @@
 // bit-identity contract — dense and sparse must produce the same topic
 // assignments and the same document-completion perplexity bit for bit, and
 // batched results must match sequential ones — exiting nonzero on any
-// mismatch. Emits BENCH_inference_throughput.json.
+// mismatch. A fourth run repeats sparse+batched with the observability
+// layer enabled (metrics + span tracing) to measure the instrumentation
+// overhead against its ≤3% tokens/s budget and to pin bit-identity with
+// instrumentation on. Emits BENCH_inference_throughput.json.
 #include <cstdio>
 #include <fstream>
 
 #include "common.hpp"
 #include "core/inference.hpp"
+#include "obs/obs.hpp"
+#include "obs/sink.hpp"
 #include "util/philox.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -128,6 +133,16 @@ int main(int argc, char** argv) {
   runs.push_back(Run("sparse+batched", model, cfg,
                      core::InferSampler::kSparseBucket, &pool, docs, corpus,
                      tokens, iters));
+  obs::Metrics().ResetValues();
+  obs::Metrics().set_enabled(true);
+  obs::SpanTracer::Global().set_enabled(true);
+  runs.push_back(Run("sparse+metrics", model, cfg,
+                     core::InferSampler::kSparseBucket, &pool, docs, corpus,
+                     tokens, iters));
+  obs::Metrics().set_enabled(false);
+  obs::SpanTracer::Global().set_enabled(false);
+  obs::SpanTracer::Global().Reset();
+  obs::Metrics().ResetValues();
   for (const ModeRun& r : runs) {
     std::printf("%-15s %8.3f s  %10.0f tokens/s  ppl %.6f\n",
                 r.name.c_str(), r.seconds, r.tokens_per_sec, r.perplexity);
@@ -152,12 +167,16 @@ int main(int argc, char** argv) {
   table.Print();
   const double sparse_speedup = runs[1].tokens_per_sec / base;
   const double batched_speedup = runs[2].tokens_per_sec / base;
-  std::printf("\nbit-identity across samplers and batching: %s\n",
+  const double metrics_overhead_pct =
+      (1.0 - runs[3].tokens_per_sec / runs[2].tokens_per_sec) * 100.0;
+  std::printf("\nbit-identity across samplers, batching, and metrics: %s\n",
               identical ? "OK (same assignments, same perplexity)"
                         : "FAILED — sampler modes diverged!");
   std::printf("sparse+batched vs dense single-threaded: %.2fx "
               "(single-core sparse alone: %.2fx)\n",
               batched_speedup, sparse_speedup);
+  std::printf("enabled-metrics overhead: %.2f%% tokens/s (budget 3%%)\n",
+              metrics_overhead_pct);
 
   std::ofstream json(out_path);
   json << "{\n"
@@ -171,6 +190,8 @@ int main(int argc, char** argv) {
        << "  \"bit_identical\": " << (identical ? "true" : "false") << ",\n"
        << "  \"sparse_speedup_vs_dense\": " << sparse_speedup << ",\n"
        << "  \"batched_speedup_vs_dense\": " << batched_speedup << ",\n"
+       << "  \"metrics_schema\": \"" << obs::kMetricsSchema << "\",\n"
+       << "  \"metrics_overhead_pct\": " << metrics_overhead_pct << ",\n"
        << "  \"runs\": [\n";
   for (size_t i = 0; i < runs.size(); ++i) {
     const ModeRun& r = runs[i];

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/philox.hpp"
 
@@ -273,11 +274,14 @@ std::vector<InferenceResult> InferenceEngine::InferBatch(
   CULDA_CHECK_MSG(seeds.size() == docs.size(),
                   "InferBatch needs one seed per document (got "
                       << seeds.size() << " for " << docs.size() << ")");
+  CULDA_OBS_SPAN("infer/batch");
+  CULDA_OBS_TIMED("infer.batch_seconds");
   std::vector<InferenceResult> results(docs.size());
   ThreadPool* pool = options_.pool;
   const size_t slots = pool != nullptr ? pool->worker_count() + 1 : 1;
   std::vector<Scratch> scratch(slots);
   const auto body = [&](size_t i) {
+    CULDA_OBS_TIMED("infer.doc_seconds");
     Scratch& s =
         scratch[pool != nullptr ? pool->current_worker_id() + 1 : 0];
     FoldIn(docs[i], iterations, seeds[i], s);
@@ -287,6 +291,13 @@ std::vector<InferenceResult> InferenceEngine::InferBatch(
     pool->ParallelFor(docs.size(), body);
   } else {
     for (size_t i = 0; i < docs.size(); ++i) body(i);
+  }
+  CULDA_OBS_COUNT("infer.batches", 1);
+  CULDA_OBS_COUNT("infer.docs", docs.size());
+  if (CULDA_OBS_ENABLED()) {
+    uint64_t tokens = 0;
+    for (const auto& r : results) tokens += r.tokens;
+    CULDA_OBS_COUNT("infer.tokens", tokens);
   }
   return results;
 }
@@ -303,6 +314,8 @@ double InferenceEngine::DocumentCompletionPerplexity(
     const corpus::Corpus& heldout, uint32_t iterations,
     uint64_t seed) const {
   CULDA_CHECK(heldout.vocab_size() <= model_->vocab_size);
+  CULDA_OBS_SPAN("infer/perplexity");
+  CULDA_OBS_TIMED("infer.ppl_wall_s");
 
   // Per-document partials reduced in document order below: the value is
   // independent of the worker count (and of whether a pool is set at all).
@@ -313,6 +326,7 @@ double InferenceEngine::DocumentCompletionPerplexity(
   const size_t slots = pool != nullptr ? pool->worker_count() + 1 : 1;
   std::vector<Scratch> scratch(slots);
   const auto body = [&](size_t d) {
+    CULDA_OBS_TIMED("infer.ppl_doc_seconds");
     const auto tokens = heldout.DocTokens(d);
     if (tokens.size() < 2) return;
     Scratch& s =
@@ -345,6 +359,7 @@ double InferenceEngine::DocumentCompletionPerplexity(
   }
   CULDA_CHECK_MSG(total_scored > 0,
                   "held-out corpus has no scorable tokens");
+  CULDA_OBS_COUNT("infer.tokens_scored", total_scored);
   return std::exp(-log_prob / static_cast<double>(total_scored));
 }
 

@@ -1,5 +1,6 @@
 #include "core/online.hpp"
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace culda::core {
@@ -17,6 +18,8 @@ OnlineTrainer::OnlineTrainer(corpus::Corpus initial_corpus, CuldaConfig cfg,
 
 const InferenceEngine& OnlineTrainer::ServingEngine() {
   if (serving_engine_ == nullptr) {
+    CULDA_OBS_SPAN("online/serving_engine_build");
+    CULDA_OBS_COUNT("online.engine_rebuilds", 1);
     served_model_ = std::make_unique<GatheredModel>(trainer_->Gather());
     InferenceOptions options;
     options.pool = opts_.pool;
@@ -36,6 +39,7 @@ InferenceResult OnlineTrainer::AddDocument(std::vector<uint32_t> words) {
     CULDA_CHECK_MSG(w < corpus_.vocab_size(),
                     "online documents must use the trained vocabulary");
   }
+  CULDA_OBS_COUNT("online.docs_added", 1);
   InferenceResult result = ServingEngine().InferDocument(
       words, /*iterations=*/20,
       /*seed=*/cfg_.seed ^ (pending_docs_.size() + 0x9E3779B9ull));
@@ -52,6 +56,7 @@ std::vector<InferenceResult> OnlineTrainer::AddDocuments(
                       "online documents must use the trained vocabulary");
     }
   }
+  CULDA_OBS_COUNT("online.docs_added", docs.size());
   // Same per-document seeds as sequential AddDocument calls would use, so
   // the batched fold-in is bit-identical to the one-at-a-time path.
   std::vector<uint64_t> seeds(docs.size());
@@ -68,6 +73,8 @@ std::vector<InferenceResult> OnlineTrainer::AddDocuments(
 }
 
 void OnlineTrainer::Absorb(uint32_t refresh_iterations) {
+  CULDA_OBS_SPAN("online/absorb");
+  CULDA_OBS_COUNT("online.absorbs", 1);
   InvalidateServingEngine();  // refresh sweeps change φ
   if (pending_docs_.empty()) {
     trainer_->Train(refresh_iterations);

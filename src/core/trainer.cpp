@@ -9,6 +9,7 @@
 #include "core/evaluator.hpp"
 #include "core/hyperopt.hpp"
 #include "corpus/chunking.hpp"
+#include "obs/obs.hpp"
 #include "util/io.hpp"
 #include "util/log.hpp"
 #include "util/philox.hpp"
@@ -164,6 +165,7 @@ void CuldaTrainer::BuildChunks() {
 void CuldaTrainer::InitializeModel() { RebuildCountsFromZ(); }
 
 void CuldaTrainer::RebuildCountsFromZ() {
+  CULDA_OBS_SPAN("train/rebuild_counts");
   const uint32_t g_count = static_cast<uint32_t>(group_.size());
   // Counts from the current assignment: θ per chunk, φ per device. Each
   // device touches only its own chunks and replica, so the rebuild runs
@@ -191,6 +193,8 @@ uint64_t CuldaTrainer::ChunkUploadBytes(const ChunkState& chunk) const {
 }
 
 IterationStats CuldaTrainer::Step() {
+  CULDA_OBS_SPAN("train/step");
+  CULDA_OBS_TIMED("train.step_wall_s");
   IterationStats stats;
   stats.iteration = iteration_;
   const double t0 = group_.Now();
@@ -217,6 +221,11 @@ IterationStats CuldaTrainer::Step() {
     stats.transfer_s += cur - last_transfer_s_[g];
     last_transfer_s_[g] = cur;
   }
+  CULDA_OBS_COUNT("train.iterations", 1);
+  CULDA_OBS_COUNT("train.tokens_sampled", corpus_->num_tokens());
+  CULDA_OBS_GAUGE_SET("train.theta_nnz", stats.theta_nnz);
+  CULDA_OBS_GAUGE_SET("train.wall_tokens_per_sec",
+                      stats.wall_tokens_per_sec);
   ++iteration_;
   if (opts_.hyperopt_interval > 0 &&
       iteration_ % opts_.hyperopt_interval == 0) {
@@ -229,8 +238,11 @@ IterationStats CuldaTrainer::Step() {
 }
 
 void CuldaTrainer::StepWs1(IterationStats& stats) {
+  CULDA_OBS_SPAN("train/ws1");
+  CULDA_OBS_TIMED("train.schedule_wall_s");
   std::vector<DevicePartial> partials(group_.size());
   ForEachDevice([&](size_t g) {
+    CULDA_OBS_SPAN("train/ws1 gpu" + std::to_string(g));
     DevicePartial& part = partials[g];
     gpusim::Device& dev = group_.device(g);
     ChunkState& chunk = chunks_[g];
@@ -265,9 +277,12 @@ void CuldaTrainer::StepWs1(IterationStats& stats) {
 }
 
 void CuldaTrainer::StepWs2(IterationStats& stats) {
+  CULDA_OBS_SPAN("train/ws2");
+  CULDA_OBS_TIMED("train.schedule_wall_s");
   const uint32_t g_count = static_cast<uint32_t>(group_.size());
   std::vector<DevicePartial> partials(group_.size());
   ForEachDevice([&](size_t g) {
+    CULDA_OBS_SPAN("train/ws2 gpu" + std::to_string(g));
     DevicePartial& part = partials[g];
     gpusim::Device& dev = group_.device(g);
     gpusim::Stream& compute = dev.stream(0);
@@ -319,10 +334,15 @@ void CuldaTrainer::StepWs2(IterationStats& stats) {
 }
 
 void CuldaTrainer::SyncAndFinishIteration(IterationStats& stats) {
-  const auto sync = SynchronizePhi(group_, cfg_, accum_, opts_.sync_mode);
-  stats.sync_s += sync.seconds;
+  CULDA_OBS_TIMED("train.sync_wall_s");
+  {
+    CULDA_OBS_SPAN("train/phi_sync");
+    const auto sync = SynchronizePhi(group_, cfg_, accum_, opts_.sync_mode);
+    stats.sync_s += sync.seconds;
+  }
   // The synchronized accumulators become the next iteration's read model.
   std::swap(replicas_, accum_);
+  CULDA_OBS_SPAN("train/compute_nk");
   std::vector<double> nk_s(group_.size(), 0.0);
   ForEachDevice([&](size_t g) {
     nk_s[g] = RunComputeNkKernel(group_.device(g), cfg_, replicas_[g])
@@ -401,6 +421,9 @@ constexpr uint32_t kCkptVersion = 2;
 }  // namespace
 
 void CuldaTrainer::SaveCheckpoint(std::ostream& out) const {
+  CULDA_OBS_SPAN("ckpt/save");
+  CULDA_OBS_TIMED("ckpt.save_s");
+  CULDA_OBS_COUNT("ckpt.saves", 1);
   io::ContainerWriter w;
   w.WritePod(cfg_.num_topics);
   w.WritePod(cfg_.seed);
@@ -418,6 +441,9 @@ void CuldaTrainer::SaveCheckpoint(std::ostream& out) const {
 }
 
 void CuldaTrainer::RestoreCheckpoint(std::istream& in) {
+  CULDA_OBS_SPAN("ckpt/restore");
+  CULDA_OBS_TIMED("ckpt.restore_s");
+  CULDA_OBS_COUNT("ckpt.restores", 1);
   // Version, length, and CRC are verified before any field is parsed
   // (bounded reads; a hostile header cannot OOM), and the trainer is mutated
   // only after the whole payload validates — a failed restore leaves it

@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+
+#include "obs/json.hpp"
+
+namespace culda::obs {
+
+namespace {
+
+/// Lock-free min/max via CAS (std::atomic<double> has no fetch_min).
+void AtomicMin(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+size_t BucketIndex(double seconds) {
+  if (!(seconds > 0)) return 0;  // negatives/NaN land in the first bucket
+  const double micros = seconds * 1e6;
+  if (micros < 1.0) return 0;
+  // Bucket i covers [2^(i-1), 2^i) µs: ilogb gives the power-of-two band.
+  const int band = std::ilogb(micros);  // floor(log2), micros >= 1 here
+  const size_t i = static_cast<size_t>(band) + 1;
+  return i < Histogram::kBuckets - 1 ? i : Histogram::kBuckets - 1;
+}
+
+}  // namespace
+
+void Histogram::Record(double seconds) {
+  buckets_[BucketIndex(seconds)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, seconds);
+  AtomicMin(min_, seconds);
+  AtomicMax(max_, seconds);
+}
+
+double Histogram::BucketUpperEdge(size_t i) {
+  if (i == 0) return 1e-6;
+  if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return 1e-6 * std::ldexp(1.0, static_cast<int>(i));
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0.0;
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  // Rank of the q-quantile sample, 1-based, clamped into [1, n].
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < kBuckets; ++i) {
+    cum += buckets_[i].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      const double edge = BucketUpperEdge(i);
+      // Clamp into the observed range: single-sample and all-in-overflow
+      // histograms report exact values, and no percentile exceeds max.
+      return std::min(std::max(edge, lo), hi);
+    }
+  }
+  return hi;  // racing snapshot: counts moved under us
+}
+
+Histogram::Summary Histogram::Snapshot() const {
+  Summary s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  s.p50 = Percentile(0.50);
+  s.p95 = Percentile(0.95);
+  s.p99 = Percentile(0.99);
+  return s;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Intentionally leaked: handles cached in function-local statics all over
+  // the codebase must outlive every other static's destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonObject out;
+  for (const auto& [name, c] : counters_) {
+    JsonObject m;
+    m.Add("type", "counter").Add("value", c->value());
+    out.AddRaw(name, m.str());
+  }
+  for (const auto& [name, g] : gauges_) {
+    JsonObject m;
+    m.Add("type", "gauge").Add("value", g->value());
+    out.AddRaw(name, m.str());
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Summary s = h->Snapshot();
+    JsonObject m;
+    m.Add("type", "histogram")
+        .Add("count", s.count)
+        .Add("sum", s.sum)
+        .Add("mean", s.mean())
+        .Add("min", s.min)
+        .Add("max", s.max)
+        .Add("p50", s.p50)
+        .Add("p95", s.p95)
+        .Add("p99", s.p99);
+    out.AddRaw(name, m.str());
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetValues() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+namespace {
+double SteadyNowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+ScopedHistTimer::ScopedHistTimer(Histogram& hist) {
+  if (MetricsEnabled()) {
+    hist_ = &hist;
+    start_s_ = SteadyNowSeconds();
+  }
+}
+
+ScopedHistTimer::~ScopedHistTimer() {
+  if (hist_ != nullptr) hist_->Record(SteadyNowSeconds() - start_s_);
+}
+
+}  // namespace culda::obs

@@ -1,0 +1,185 @@
+// Host-side metrics: named counters, gauges, and fixed-bucket latency
+// histograms behind a process-global registry.
+//
+// The paper's argument is a measurement story (the Table 1 roofline and the
+// Table 5 per-kernel breakdown justify every design choice); gpusim profiles
+// the *simulated* timeline, and this registry is its host-side counterpart —
+// trainer phases, the serving engine, the ThreadPool, and checkpoint I/O
+// report here.
+//
+// Concurrency contract (the hot-path rule): registration (`GetCounter` etc.)
+// takes a mutex and should be done once — the CULDA_OBS_* macros in obs.hpp
+// cache the returned reference in a function-local static, so steady-state
+// recording is a handful of relaxed atomic operations and never locks.
+// Handles returned by the registry are valid for the life of the process
+// (the global registry is intentionally leaked; metrics recorded during
+// static destruction still have a live home).
+//
+// Collection is off by default and enabled at runtime (`set_enabled`) by
+// tools when --metrics-out / --trace-out is passed; a disabled registry
+// costs one relaxed load per macro site. Compiling with -DCULDA_OBS_OFF
+// (CMake: -DCULDA_OBS=OFF) removes the macro bodies entirely, so
+// instrumented hot loops pay literally zero. Either way the instrumentation
+// is observation-only: it reads clocks and bumps atomics, and never feeds
+// back into any numeric result (enforced by Obs.BitIdentity* tests).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace culda::obs {
+
+/// Monotonic integer counter (events, tokens, bytes).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written (or accumulated) double value. Set is a plain store; Add is
+/// a CAS loop, so several workers may accumulate into one gauge without a
+/// lock (used for per-worker busy seconds).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket latency histogram over seconds.
+//
+// Buckets are powers of two from 1 µs: bucket 0 is [0, 1 µs), bucket i
+// (1 ≤ i ≤ kPow2Buckets) is [2^(i-1) µs, 2^i µs), and the last bucket
+// catches everything ≥ 2^kPow2Buckets µs (≈ 67 s) — overflow. Recording is
+// a branch-free index computation plus relaxed atomic increments, so any
+// number of ThreadPool workers can record into one histogram lock-free;
+// exact count/sum/min/max ride alongside (CAS loops for the extrema).
+//
+// Percentiles come from the bucket counts: the reported p is the upper edge
+// of the bucket containing the rank, clamped to [min, max] — which makes
+// the edge cases exact: an empty histogram reports 0 everywhere, a single
+// sample reports its own value at every percentile, and an
+// all-in-overflow-bucket histogram reports the true max.
+class Histogram {
+ public:
+  static constexpr size_t kPow2Buckets = 27;            ///< up to ~67 s
+  static constexpr size_t kBuckets = kPow2Buckets + 2;  ///< + under/overflow
+
+  void Record(double seconds);
+
+  /// Upper edge (seconds) of bucket `i`; the overflow bucket has no finite
+  /// edge and reports infinity.
+  static double BucketUpperEdge(size_t i);
+
+  struct Summary {
+    uint64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p95 = 0;
+    double p99 = 0;
+    double mean() const { return count > 0 ? sum / count : 0.0; }
+  };
+
+  /// Consistent-enough snapshot under concurrent recording: each field is
+  /// read atomically, but the set is not a linearizable cut (counts may be
+  /// mid-update). Exact once recording has quiesced.
+  Summary Snapshot() const;
+
+  /// `q` in [0, 1]; 0 with no samples. See the class comment for semantics.
+  double Percentile(double q) const;
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  /// +inf so the CAS-min always engages; reported as 0 while count_ == 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{0.0};
+};
+
+/// Name → metric. Names are dot-separated lowercase
+/// ("infer.batch_seconds"); the convention (and the current name inventory)
+/// is documented in docs/observability.md.
+class MetricsRegistry {
+ public:
+  /// The process-global registry every CULDA_OBS_* macro records into.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create; the returned reference stays valid for the registry's
+  /// lifetime. Takes the registry mutex — cache the result (the macros do).
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// All metrics as one JSON object keyed by name, e.g.
+  ///   {"infer.docs":{"type":"counter","value":12}, ...}
+  /// Histograms carry count/sum/mean/min/max/p50/p95/p99. Keys are sorted
+  /// (std::map order), so snapshots diff cleanly.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every metric's value (registrations stay). Test support.
+  void ResetValues();
+
+ private:
+  mutable std::mutex mutex_;
+  std::atomic<bool> enabled_{false};
+  // node-based maps: references returned by Get* survive later inserts.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+inline MetricsRegistry& Metrics() { return MetricsRegistry::Global(); }
+inline bool MetricsEnabled() { return MetricsRegistry::Global().enabled(); }
+
+/// RAII timer recording its scope's wall duration into a histogram. When
+/// metrics are disabled at construction it records nothing and never reads
+/// the clock.
+class ScopedHistTimer {
+ public:
+  explicit ScopedHistTimer(Histogram& hist);
+  ~ScopedHistTimer();
+  ScopedHistTimer(const ScopedHistTimer&) = delete;
+  ScopedHistTimer& operator=(const ScopedHistTimer&) = delete;
+
+ private:
+  Histogram* hist_ = nullptr;  ///< null when disabled at construction
+  double start_s_ = 0;
+};
+
+}  // namespace culda::obs

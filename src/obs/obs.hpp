@@ -1,0 +1,110 @@
+// Instrumentation entry points: the CULDA_OBS_* macros.
+//
+// Library code records through these macros, never through the registry
+// directly, for two reasons:
+//
+//   1. Hot-path cost. Each macro caches its metric handle in a
+//      function-local static, so the registry mutex is paid once per call
+//      site per process; steady state is one relaxed enabled-check plus a
+//      few relaxed atomic ops. When collection is disabled (the default),
+//      only the enabled-check remains.
+//   2. Compile-away. Building with -DCULDA_OBS_OFF (CMake: -DCULDA_OBS=OFF)
+//      expands every macro to nothing — instrumented code paths carry
+//      literally zero observability cost, clock reads included. The obs
+//      library itself still builds; only the call sites vanish.
+//
+// All instrumentation is observation-only by contract: macros may read
+// clocks and bump atomics but must never influence a numeric result.
+// tests/test_obs.cpp pins this with bit-identity tests (train + infer with
+// collection on vs. off produce identical bytes).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef CULDA_OBS_OFF
+
+#define CULDA_OBS_CAT2(a, b) a##b
+#define CULDA_OBS_CAT(a, b) CULDA_OBS_CAT2(a, b)
+
+/// True when runtime metric collection is on (constant false when compiled
+/// out); for guarding setup an individual macro can't express.
+#define CULDA_OBS_ENABLED() (::culda::obs::MetricsEnabled())
+
+/// Adds `delta` to counter `name`. `name` must be a stable expression — it
+/// is evaluated once per call site (static handle caching).
+#define CULDA_OBS_COUNT(name, delta)                          \
+  do {                                                        \
+    if (::culda::obs::MetricsEnabled()) {                     \
+      static ::culda::obs::Counter& culda_obs_counter_ =      \
+          ::culda::obs::Metrics().GetCounter(name);           \
+      culda_obs_counter_.Add(                                 \
+          static_cast<uint64_t>(delta));                      \
+    }                                                         \
+  } while (0)
+
+/// Sets gauge `name` to `value` (double).
+#define CULDA_OBS_GAUGE_SET(name, value)                      \
+  do {                                                        \
+    if (::culda::obs::MetricsEnabled()) {                     \
+      static ::culda::obs::Gauge& culda_obs_gauge_ =          \
+          ::culda::obs::Metrics().GetGauge(name);             \
+      culda_obs_gauge_.Set(static_cast<double>(value));       \
+    }                                                         \
+  } while (0)
+
+/// Records `seconds` into histogram `name`.
+#define CULDA_OBS_HIST(name, seconds)                         \
+  do {                                                        \
+    if (::culda::obs::MetricsEnabled()) {                     \
+      static ::culda::obs::Histogram& culda_obs_hist_ =       \
+          ::culda::obs::Metrics().GetHistogram(name);         \
+      culda_obs_hist_.Record(                                 \
+          static_cast<double>(seconds));                      \
+    }                                                         \
+  } while (0)
+
+/// Times the enclosing scope into histogram `name` (RAII; records on scope
+/// exit, exceptions included). Statement context only.
+#define CULDA_OBS_TIMED(name)                                          \
+  static ::culda::obs::Histogram& CULDA_OBS_CAT(culda_obs_timed_hist_, \
+                                                __LINE__) =            \
+      ::culda::obs::Metrics().GetHistogram(name);                      \
+  ::culda::obs::ScopedHistTimer CULDA_OBS_CAT(culda_obs_timed_,        \
+                                              __LINE__)(               \
+      CULDA_OBS_CAT(culda_obs_timed_hist_, __LINE__))
+
+/// Traces the enclosing scope as a host span named `name` (any string
+/// expression, dynamic names allowed). Statement context only.
+#define CULDA_OBS_SPAN(name) \
+  ::culda::obs::ScopedSpan CULDA_OBS_CAT(culda_obs_span_, __LINE__)(name)
+
+#else  // CULDA_OBS_OFF: every macro body vanishes. The sizeof tricks keep
+       // arguments "used" (no -Wunused warnings) without evaluating them.
+
+#define CULDA_OBS_ENABLED() (false)
+#define CULDA_OBS_COUNT(name, delta) \
+  do {                               \
+    (void)sizeof((name));            \
+    (void)sizeof((delta));           \
+  } while (0)
+#define CULDA_OBS_GAUGE_SET(name, value) \
+  do {                                   \
+    (void)sizeof((name));                \
+    (void)sizeof((value));               \
+  } while (0)
+#define CULDA_OBS_HIST(name, seconds) \
+  do {                                \
+    (void)sizeof((name));             \
+    (void)sizeof((seconds));          \
+  } while (0)
+#define CULDA_OBS_TIMED(name) \
+  do {                        \
+    (void)sizeof((name));     \
+  } while (0)
+#define CULDA_OBS_SPAN(name) \
+  do {                       \
+    (void)sizeof((name));    \
+  } while (0)
+
+#endif  // CULDA_OBS_OFF

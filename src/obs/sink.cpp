@@ -1,0 +1,39 @@
+#include "obs/sink.hpp"
+
+#include "util/check.hpp"
+
+namespace culda::obs {
+
+JsonlSink::JsonlSink(const std::string& path)
+    : out_(path, std::ios::trunc) {
+  CULDA_CHECK_MSG(out_.good(),
+                  "cannot open metrics sink '" << path << "' for writing");
+}
+
+void JsonlSink::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_.open(path, std::ios::trunc);
+  CULDA_CHECK_MSG(out_.good(),
+                  "cannot open metrics sink '" << path << "' for writing");
+}
+
+void JsonlSink::Write(const JsonObject& obj) {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << obj.str() << "\n";
+  out_.flush();
+}
+
+void JsonlSink::WriteSnapshot(std::string_view kind, JsonObject fields,
+                              const MetricsRegistry& registry) {
+  if (!active()) return;
+  JsonObject line;
+  line.Add("schema", kMetricsSchema).Add("kind", kind);
+  // Caller fields ride at the top level, between the envelope and the
+  // registry snapshot.
+  line.Extend(fields);
+  line.AddRaw("metrics", registry.SnapshotJson());
+  Write(line);
+}
+
+}  // namespace culda::obs

@@ -1,0 +1,52 @@
+// JSONL metrics sink: one JSON object per line, flushed per write, so a
+// crashed or killed run still leaves every completed snapshot readable
+// (the same every-prefix-is-valid property the persistence layer has).
+//
+// Tools emit one snapshot per training iteration / per inference batch
+// when --metrics-out is set; the schema is documented in
+// docs/observability.md and versioned by kMetricsSchema (every line's
+// "schema" field).
+#pragma once
+
+#include <fstream>
+#include <mutex>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace culda::obs {
+
+/// Schema version stamped into every JSONL line and into the BENCH_*.json
+/// emitters ("metrics_schema"). Bump when metric names or summary fields
+/// change shape.
+inline constexpr char kMetricsSchema[] = "culda.metrics.v1";
+
+class JsonlSink {
+ public:
+  /// Inactive sink: Write* are no-ops. Lets tools hold one unconditionally.
+  JsonlSink() = default;
+
+  /// Opens (truncates) `path`; throws culda::Error if it cannot.
+  explicit JsonlSink(const std::string& path);
+
+  /// Opens (truncates) `path` on a default-constructed sink; throws
+  /// culda::Error on failure. Tools call this when --metrics-out is set.
+  void Open(const std::string& path);
+
+  bool active() const { return out_.is_open(); }
+
+  /// Writes `obj` as one line (caller adds "schema"/"kind"/payload fields).
+  void Write(const JsonObject& obj);
+
+  /// Convenience: `fields` + a "metrics" object holding the registry
+  /// snapshot, stamped with schema and kind. One line.
+  void WriteSnapshot(std::string_view kind, JsonObject fields,
+                     const MetricsRegistry& registry = Metrics());
+
+ private:
+  std::ofstream out_;
+  std::mutex mutex_;
+};
+
+}  // namespace culda::obs

@@ -1,0 +1,132 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace culda::obs {
+
+SpanTracer& SpanTracer::Global() {
+  // Leaked for the same reason as the metrics registry: spans recorded
+  // during static destruction must still have a live home.
+  static SpanTracer* tracer = new SpanTracer();
+  return *tracer;
+}
+
+SpanTracer::SpanTracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double SpanTracer::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+void SpanTracer::RecordSpan(std::string name, double start_s, double end_s) {
+  const std::thread::id self = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = thread_tids_.try_emplace(self, next_tid_);
+  if (inserted) ++next_tid_;
+  spans_.push_back({std::move(name), it->second, start_s, end_s});
+}
+
+void SpanTracer::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  spans_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+size_t SpanTracer::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<TraceEvent> SpanTracer::CollectEvents(int pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  events.reserve(spans_.size());
+  for (const Span& s : spans_) {
+    events.push_back(
+        {s.name, pid, s.tid, s.start_s, s.end_s - s.start_s});
+  }
+  return events;
+}
+
+std::vector<TraceThread> SpanTracer::CollectThreads(int pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceThread> threads;
+  threads.reserve(thread_tids_.size());
+  for (const auto& [id, tid] : thread_tids_) {
+    threads.push_back(
+        {pid, tid, "host thread " + std::to_string(tid)});
+  }
+  return threads;
+}
+
+ScopedSpan::ScopedSpan(std::string name, SpanTracer& tracer) {
+  if (tracer.enabled()) {
+    tracer_ = &tracer;
+    name_ = std::move(name);
+    start_s_ = tracer.NowSeconds();
+  }
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (tracer_ != nullptr) {
+    tracer_->RecordSpan(std::move(name_), start_s_, tracer_->NowSeconds());
+  }
+}
+
+void WriteChromeTraceJson(std::span<const TraceEvent> events,
+                          std::span<const TraceProcess> processes,
+                          std::span<const TraceThread> threads,
+                          std::ostream& out) {
+  out << "{\"traceEvents\":[\n";
+  bool first = true;
+  const auto sep = [&]() -> std::ostream& {
+    if (!first) out << ",\n";
+    first = false;
+    return out;
+  };
+  for (const TraceProcess& p : processes) {
+    JsonObject args;
+    args.Add("name", p.name);
+    JsonObject m;
+    m.Add("name", "process_name")
+        .Add("ph", "M")
+        .Add("pid", p.pid)
+        .Add("tid", 0)
+        .AddRaw("args", args.str());
+    sep() << "  " << m.str();
+  }
+  for (const TraceThread& t : threads) {
+    JsonObject args;
+    args.Add("name", t.name);
+    JsonObject m;
+    m.Add("name", "thread_name")
+        .Add("ph", "M")
+        .Add("pid", t.pid)
+        .Add("tid", t.tid)
+        .AddRaw("args", args.str());
+    sep() << "  " << m.str();
+  }
+  for (const TraceEvent& e : events) {
+    JsonObject x;
+    x.Add("name", e.name)
+        .Add("ph", "X")
+        .Add("pid", e.pid)
+        .Add("tid", e.tid)
+        .Add("ts", e.start_s * 1e6)
+        .Add("dur", e.dur_s * 1e6);
+    sep() << "  " << x.str();
+  }
+  out << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void WriteChromeTrace(const SpanTracer& tracer, std::ostream& out) {
+  const std::vector<TraceEvent> events = tracer.CollectEvents();
+  const std::vector<TraceThread> threads = tracer.CollectThreads();
+  const std::vector<TraceProcess> processes = {{kHostTracePid, "host"}};
+  WriteChromeTraceJson(events, processes, threads, out);
+}
+
+}  // namespace culda::obs

@@ -1,0 +1,135 @@
+// Host wall-clock span tracing, exportable as Chrome trace-event JSON.
+//
+// gpusim already records the *simulated* device timeline
+// (gpusim::WriteChromeTrace); this tracer records what the host actually
+// does — trainer phases, φ-sync, checkpoint fsyncs, inference batches — so
+// both can be merged into one trace file (host as its own "process") and
+// inspected side by side in Perfetto (https://ui.perfetto.dev) or
+// chrome://tracing. gpusim::WriteMergedChromeTrace does the merging.
+//
+// Spans are recorded with RAII (ScopedSpan / the CULDA_OBS_SPAN macro):
+// construction reads the steady clock, destruction appends one record —
+// which makes nesting free (Perfetto stacks same-thread "X" events by time
+// containment) and exception-safe (an unwinding scope still records its
+// span). Appending takes a mutex; spans sit at phase granularity (dozens
+// per iteration), never inside sampler loops, so this is far off the hot
+// path. A disabled tracer (the default) records nothing and skips even the
+// clock reads.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace culda::obs {
+
+/// The host's process id in merged trace files. Simulated devices use their
+/// device index (0, 1, …) as pid; this stays clear of any plausible count.
+inline constexpr int kHostTracePid = 1000;
+
+/// One complete Chrome "X" (duration) event, in seconds since the owning
+/// timeline's epoch.
+struct TraceEvent {
+  std::string name;
+  int pid = 0;
+  int tid = 0;
+  double start_s = 0;
+  double dur_s = 0;
+};
+
+/// Chrome trace metadata: names a process / thread row in the UI.
+struct TraceProcess {
+  int pid = 0;
+  std::string name;
+};
+struct TraceThread {
+  int pid = 0;
+  int tid = 0;
+  std::string name;
+};
+
+class SpanTracer {
+ public:
+  /// The process-global tracer CULDA_OBS_SPAN records into.
+  static SpanTracer& Global();
+
+  SpanTracer();
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Seconds since this tracer's epoch (construction or last Reset).
+  double NowSeconds() const;
+
+  /// Appends one span ending now; `start_s` from NowSeconds(). The calling
+  /// thread is assigned a dense tid (0, 1, …) on first use.
+  void RecordSpan(std::string name, double start_s, double end_s);
+
+  /// Clears recorded spans and re-zeroes the epoch (thread ids persist).
+  void Reset();
+
+  size_t span_count() const;
+
+  /// Recorded spans as Chrome events under process `pid`, in record order.
+  std::vector<TraceEvent> CollectEvents(int pid = kHostTracePid) const;
+  /// One entry per thread that recorded a span ("host thread N").
+  std::vector<TraceThread> CollectThreads(int pid = kHostTracePid) const;
+
+ private:
+  struct Span {
+    std::string name;
+    int tid = 0;
+    double start_s = 0;
+    double end_s = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<Span> spans_;
+  std::map<std::thread::id, int> thread_tids_;
+  int next_tid_ = 0;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span on a tracer (the global one by default). If the tracer is
+/// disabled at construction, the whole object is inert.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name,
+                      SpanTracer& tracer = SpanTracer::Global());
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  SpanTracer* tracer_ = nullptr;  ///< null when disabled at construction
+  std::string name_;
+  double start_s_ = 0;
+};
+
+/// Writes `events` (+ process/thread naming metadata) as one Chrome
+/// trace-event JSON object: {"traceEvents":[...],"displayTimeUnit":"ms"}.
+/// Timestamps are converted to microseconds as the format requires. Loads
+/// in Perfetto and chrome://tracing.
+void WriteChromeTraceJson(std::span<const TraceEvent> events,
+                          std::span<const TraceProcess> processes,
+                          std::span<const TraceThread> threads,
+                          std::ostream& out);
+
+/// Host-only convenience: the tracer's spans as a complete trace file
+/// (used by culda_infer, which has no simulated devices).
+void WriteChromeTrace(const SpanTracer& tracer, std::ostream& out);
+
+}  // namespace culda::obs

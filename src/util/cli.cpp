@@ -78,6 +78,30 @@ bool CliFlags::GetBool(const std::string& name, bool default_value) const {
   return default_value;
 }
 
+LogLevel CliFlags::ApplyLogFlags() const {
+  LogLevel level = GetBool("quiet", false) ? LogLevel::kWarn : LogLevel::kInfo;
+  if (Has("log-level")) {
+    const std::string name = GetString("log-level", "info");
+    if (name == "debug") {
+      level = LogLevel::kDebug;
+    } else if (name == "info") {
+      level = LogLevel::kInfo;
+    } else if (name == "warn") {
+      level = LogLevel::kWarn;
+    } else if (name == "error") {
+      level = LogLevel::kError;
+    } else if (name == "off") {
+      level = LogLevel::kOff;
+    } else {
+      CULDA_CHECK_MSG(false, "flag --log-level expects "
+                                 "debug|info|warn|error|off, got '"
+                                 << name << "'");
+    }
+  }
+  SetLogLevel(level);
+  return level;
+}
+
 std::vector<std::string> CliFlags::UnusedFlags() const {
   std::vector<std::string> unused;
   for (const auto& [name, _] : values_) {

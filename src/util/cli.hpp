@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "util/log.hpp"
+
 namespace culda {
 
 class CliFlags {
@@ -30,6 +32,13 @@ class CliFlags {
   /// Returns the flags that were never read by any Get*/Has call; the
   /// benches call this after parsing to reject typos.
   std::vector<std::string> UnusedFlags() const;
+
+  /// Reads the shared logging flags — `--log-level=debug|info|warn|error|off`
+  /// and the `--quiet` shorthand (→ warn; `--log-level` wins when both are
+  /// given) — applies the result via SetLogLevel, and returns it. Every tool
+  /// calls this once right after parsing so the flags mean the same thing
+  /// everywhere.
+  LogLevel ApplyLogFlags() const;
 
  private:
   std::map<std::string, std::string> values_;

@@ -13,6 +13,8 @@
 #include <unistd.h>
 #endif
 
+#include "obs/obs.hpp"
+
 namespace culda::io {
 
 namespace {
@@ -35,6 +37,8 @@ const std::array<uint32_t, 256> kCrcTable = MakeCrcTable();
 /// across power loss. Failure to sync is not fatal (some filesystems refuse
 /// it); failure to *write* is caught earlier via the stream state.
 void FsyncPath(const std::string& path) {
+  CULDA_OBS_TIMED("io.fsync_s");
+  CULDA_OBS_COUNT("io.fsyncs", 1);
 #if defined(__unix__) || defined(__APPLE__)
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd >= 0) {
@@ -144,6 +148,8 @@ bool FileExists(const std::string& path) {
 void AtomicWriteFile(const std::string& path,
                      const std::function<void(std::ostream&)>& write,
                      bool keep_previous) {
+  CULDA_OBS_TIMED("io.atomic_write_s");
+  CULDA_OBS_COUNT("io.files_written", 1);
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -151,6 +157,10 @@ void AtomicWriteFile(const std::string& path,
     write(out);
     out.flush();
     CULDA_CHECK_MSG(out.good(), "failed writing '" << tmp << "'");
+    const auto pos = out.tellp();
+    if (pos > 0) {
+      CULDA_OBS_COUNT("io.bytes_written", static_cast<uint64_t>(pos));
+    }
   }
   FsyncPath(tmp);
   if (keep_previous && FileExists(path)) {

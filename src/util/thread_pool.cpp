@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
+#include <string>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace culda {
@@ -78,6 +81,12 @@ int ThreadPool::current_worker_id() const {
 void ThreadPool::WorkerLoop(size_t worker_id) {
   tl_pool = this;
   tl_worker_id = static_cast<int>(worker_id);
+#ifndef CULDA_OBS_OFF
+  // One gauge per worker slot: merged busy seconds need no hot-path locks
+  // because each gauge has exactly one writer thread.
+  obs::Gauge& busy_s = obs::Metrics().GetGauge(
+      "threadpool.worker" + std::to_string(worker_id) + ".busy_s");
+#endif
   for (;;) {
     std::function<void()> task;
     {
@@ -87,6 +96,17 @@ void ThreadPool::WorkerLoop(size_t worker_id) {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+#ifndef CULDA_OBS_OFF
+    if (obs::MetricsEnabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      task();
+      busy_s.Add(std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count());
+      CULDA_OBS_COUNT("threadpool.tasks_run", 1);
+      continue;
+    }
+#endif
     task();
   }
 }
@@ -104,8 +124,25 @@ void ThreadPool::RunShards(size_t shards,
   const size_t helpers = std::min(shards, threads_.size());
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (size_t h = 0; h < helpers; ++h) {
-      tasks_.push([job] { job->Drain(); });
+#ifndef CULDA_OBS_OFF
+    if (obs::MetricsEnabled()) {
+      static obs::Histogram& wait_h =
+          obs::Metrics().GetHistogram("threadpool.queue_wait_s");
+      const auto pushed = std::chrono::steady_clock::now();
+      for (size_t h = 0; h < helpers; ++h) {
+        tasks_.push([job, pushed] {
+          wait_h.Record(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - pushed)
+                            .count());
+          job->Drain();
+        });
+      }
+    } else
+#endif
+    {
+      for (size_t h = 0; h < helpers; ++h) {
+        tasks_.push([job] { job->Drain(); });
+      }
     }
   }
   if (helpers > 0) cv_.notify_all();

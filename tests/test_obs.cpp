@@ -1,0 +1,321 @@
+// Tests for the host observability layer (src/obs): histogram percentile
+// semantics, lock-free concurrent recording, span tracing, the JSONL sink,
+// and — the load-bearing one — bit-identity of every numeric result with
+// instrumentation on vs off.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/inference.hpp"
+#include "core/model_io.hpp"
+#include "core/trainer.hpp"
+#include "corpus/synthetic.hpp"
+#include "obs/obs.hpp"
+#include "obs/sink.hpp"
+#include "util/thread_pool.hpp"
+
+namespace culda::obs {
+namespace {
+
+/// Enables metrics + tracing for the test body and restores the global
+/// default (everything off, values zeroed) afterwards, so obs tests cannot
+/// leak state into each other or into unrelated tests in this binary.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Metrics().ResetValues();
+    Metrics().set_enabled(true);
+    SpanTracer::Global().Reset();
+    SpanTracer::Global().set_enabled(true);
+  }
+  void TearDown() override {
+    Metrics().set_enabled(false);
+    Metrics().ResetValues();
+    SpanTracer::Global().set_enabled(false);
+    SpanTracer::Global().Reset();
+  }
+};
+
+TEST(ObsHistogram, EmptyReportsZeroEverywhere) {
+  Histogram h;
+  const auto s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+  EXPECT_EQ(s.min, 0.0);
+  EXPECT_EQ(s.max, 0.0);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+}
+
+TEST(ObsHistogram, SingleSampleIsExactAtEveryPercentile) {
+  Histogram h;
+  const double v = 0.00123456;
+  h.Record(v);
+  const auto s = h.Snapshot();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.min, v);
+  EXPECT_EQ(s.max, v);
+  // The bucket upper edge is clamped to [min, max], so one sample reports
+  // its own value exactly — not a bucket boundary.
+  EXPECT_EQ(s.p50, v);
+  EXPECT_EQ(s.p95, v);
+  EXPECT_EQ(s.p99, v);
+  EXPECT_EQ(h.Percentile(0.0), v);
+  EXPECT_EQ(h.Percentile(1.0), v);
+}
+
+TEST(ObsHistogram, AllInOverflowBucketReportsTrueMax) {
+  Histogram h;
+  // Everything ≥ ~67 s lands in the unbounded overflow bucket, whose edge
+  // is +inf; the clamp must bring the report back to the observed max.
+  h.Record(80.0);
+  h.Record(90.0);
+  h.Record(100.0);
+  const auto s = h.Snapshot();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_EQ(s.min, 80.0);
+  EXPECT_EQ(s.max, 100.0);
+  EXPECT_EQ(s.p50, 100.0);
+  EXPECT_EQ(s.p99, 100.0);
+}
+
+TEST(ObsHistogram, PercentilesLandInTheRightBucket) {
+  Histogram h;
+  // 90 fast samples (~2 µs) and 10 slow ones (~1 ms): p50 must report a
+  // fast-bucket edge, p99 a slow-bucket one.
+  for (int i = 0; i < 90; ++i) h.Record(2e-6);
+  for (int i = 0; i < 10; ++i) h.Record(1e-3);
+  const auto s = h.Snapshot();
+  EXPECT_LE(s.p50, 1e-5);
+  EXPECT_GE(s.p99, 5e-4);
+  EXPECT_LE(s.p99, 1e-3);  // clamped to the observed max
+}
+
+TEST(ObsHistogram, ResetClearsEverything) {
+  Histogram h;
+  h.Record(0.5);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0.0);
+  h.Record(0.25);
+  EXPECT_EQ(h.Snapshot().min, 0.25);  // min re-engages after Reset
+}
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsAreLossless) {
+  constexpr size_t kItems = 200000;
+  Counter& c = Metrics().GetCounter("obs_test.concurrent_counter");
+  Histogram& h = Metrics().GetHistogram("obs_test.concurrent_hist");
+  ThreadPool pool(4);
+  pool.ParallelForRanges(kItems, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      c.Add(1);
+      h.Record(1e-6 * static_cast<double>(i % 64));
+    }
+  });
+  EXPECT_EQ(c.value(), kItems);
+  EXPECT_EQ(h.Snapshot().count, kItems);
+}
+
+TEST_F(ObsTest, MacrosRecordOnlyWhenEnabled) {
+  CULDA_OBS_COUNT("obs_test.macro_counter", 2);
+  CULDA_OBS_COUNT("obs_test.macro_counter", 3);
+#ifdef CULDA_OBS_OFF
+  // Compiled-away macros must leave no trace at all.
+  EXPECT_EQ(Metrics().GetCounter("obs_test.macro_counter").value(), 0u);
+#else
+  EXPECT_EQ(Metrics().GetCounter("obs_test.macro_counter").value(), 5u);
+
+  Metrics().set_enabled(false);
+  CULDA_OBS_COUNT("obs_test.macro_counter", 100);
+  EXPECT_EQ(Metrics().GetCounter("obs_test.macro_counter").value(), 5u);
+#endif
+}
+
+TEST_F(ObsTest, SpanNestingIsContainedAndInDestructionOrder) {
+  {
+    ScopedSpan outer("outer");
+    { ScopedSpan inner("inner"); }
+  }
+  const auto events = SpanTracer::Global().CollectEvents();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans record at destruction, so the inner one lands first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // Time containment is what makes Perfetto stack them.
+  EXPECT_GE(events[0].start_s, events[1].start_s);
+  EXPECT_LE(events[0].start_s + events[0].dur_s,
+            events[1].start_s + events[1].dur_s);
+}
+
+TEST_F(ObsTest, SpanRecordsThroughExceptions) {
+  try {
+    ScopedSpan span("unwinding");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  const auto events = SpanTracer::Global().CollectEvents();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "unwinding");
+}
+
+TEST(ObsTrace, DisabledTracerRecordsNothing) {
+  SpanTracer tracer;  // disabled by default
+  { ScopedSpan span("invisible", tracer); }
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(ObsTrace, ChromeJsonCarriesMetadataAndEvents) {
+  SpanTracer tracer;
+  tracer.set_enabled(true);
+  { ScopedSpan span("phase", tracer); }
+  std::ostringstream out;
+  WriteChromeTrace(tracer, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(s.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(s.find("\"phase\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(s.front(), '{');
+}
+
+TEST_F(ObsTest, JsonlSinkWritesOneSchemaStampedLinePerSnapshot) {
+  const std::string path = ::testing::TempDir() + "obs_sink_test.jsonl";
+  {
+    JsonlSink sink(path);
+    // Direct registry call (not a macro) so this holds in OBS_OFF builds
+    // too — the library surface is always present, only macros vanish.
+    Metrics().GetCounter("obs_test.sink_counter").Add(7);
+    JsonObject fields;
+    fields.Add("iteration", static_cast<uint64_t>(3));
+    sink.WriteSnapshot("test_kind", std::move(fields));
+    sink.WriteSnapshot("test_kind2", JsonObject());
+  }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"schema\":\"culda.metrics.v1\""),
+              std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"kind\":\"test_kind\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"iteration\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"obs_test.sink_counter\""), std::string::npos);
+}
+
+TEST(ObsSink, InactiveSinkIsANoOp) {
+  JsonlSink sink;
+  EXPECT_FALSE(sink.active());
+  sink.WriteSnapshot("ignored", JsonObject());  // must not crash
+}
+
+TEST(ObsJson, NumbersRoundTripAndNonFiniteBecomesNull) {
+  EXPECT_EQ(JsonNumber(0.1), "0.1");
+  EXPECT_EQ(JsonNumber(3.0), "3");
+  EXPECT_EQ(std::strtod(JsonNumber(1.0 / 3.0).c_str(), nullptr), 1.0 / 3.0);
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+}
+
+TEST(ObsJson, EscapesControlCharactersAndQuotes) {
+  JsonObject o;
+  o.Add("k\"ey", "va\\l\nue");
+  EXPECT_EQ(o.str(), "{\"k\\\"ey\":\"va\\\\l\\nue\"}");
+}
+
+// --- Bit-identity: instrumentation must be observation-only. -------------
+
+struct RunResult {
+  std::string model_bytes;
+  std::vector<uint16_t> assignments;
+  double perplexity = 0;
+  std::vector<std::vector<uint16_t>> infer_assignments;
+};
+
+RunResult TrainAndInfer(bool instrumented) {
+  corpus::SyntheticProfile profile;
+  profile.num_docs = 220;
+  profile.vocab_size = 300;
+  profile.seed = 99;
+  const auto corpus = corpus::GenerateCorpus(profile);
+
+  core::CuldaConfig cfg;
+  cfg.num_topics = 24;
+  cfg.seed = 4321;
+
+  ThreadPool pool(3);
+  core::TrainerOptions opts;
+  opts.gpus.assign(2, gpusim::TitanXpPascal());
+  opts.pool = &pool;
+
+  core::CuldaTrainer trainer(corpus, cfg, opts);
+  if (instrumented) {
+    for (size_t g = 0; g < trainer.group().size(); ++g) {
+      trainer.group().device(g).set_record_trace(true);
+    }
+  }
+  trainer.Train(4);
+
+  RunResult r;
+  const auto model = trainer.Gather();
+  std::ostringstream bytes;
+  core::SaveModel(model, bytes);
+  r.model_bytes = bytes.str();
+  r.assignments = trainer.ExportAssignments();
+
+  core::InferenceOptions io;
+  io.pool = &pool;
+  const core::InferenceEngine engine(model, cfg, io);
+  std::vector<std::vector<uint32_t>> docs = {
+      {1, 2, 3, 4, 5, 6}, {7, 8, 9, 7, 8, 9, 7}, {250, 10, 20, 30}};
+  for (const auto& res : engine.InferBatch(docs, 15, uint64_t{77})) {
+    r.infer_assignments.push_back(res.assignments);
+  }
+  r.perplexity = engine.DocumentCompletionPerplexity(corpus, 5);
+  return r;
+}
+
+TEST(ObsBitIdentity, MetricsAndTracingChangeNoNumericResult) {
+  // Baseline: everything off (the global default).
+  Metrics().set_enabled(false);
+  SpanTracer::Global().set_enabled(false);
+  const RunResult off = TrainAndInfer(/*instrumented=*/false);
+
+  // Instrumented: metrics + tracing + device trace recording all on.
+  Metrics().ResetValues();
+  Metrics().set_enabled(true);
+  SpanTracer::Global().Reset();
+  SpanTracer::Global().set_enabled(true);
+  const RunResult on = TrainAndInfer(/*instrumented=*/true);
+
+  // The instrumented run must actually have observed something…
+#ifndef CULDA_OBS_OFF
+  EXPECT_GT(Metrics().GetCounter("train.iterations").value(), 0u);
+  EXPECT_GT(SpanTracer::Global().span_count(), 0u);
+#endif
+
+  Metrics().set_enabled(false);
+  Metrics().ResetValues();
+  SpanTracer::Global().set_enabled(false);
+  SpanTracer::Global().Reset();
+
+  // …and changed nothing: model bytes, z, inference output, perplexity.
+  EXPECT_EQ(off.model_bytes, on.model_bytes);
+  EXPECT_EQ(off.assignments, on.assignments);
+  EXPECT_EQ(off.infer_assignments, on.infer_assignments);
+  EXPECT_EQ(off.perplexity, on.perplexity);
+}
+
+}  // namespace
+}  // namespace culda::obs

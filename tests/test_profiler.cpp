@@ -6,6 +6,7 @@
 #include "core/trainer.hpp"
 #include "corpus/synthetic.hpp"
 #include "gpusim/profiler.hpp"
+#include "obs/trace.hpp"
 
 namespace culda::gpusim {
 namespace {
@@ -100,6 +101,70 @@ TEST(Profiler, ResetProfileClearsTrace) {
   dev.Launch("k", {1, 32}, [](BlockContext&) {});
   dev.ResetProfile();
   EXPECT_TRUE(dev.trace().empty());
+}
+
+TEST(Profiler, ProfileJsonMirrorsThePrintedTable) {
+  Device dev(TitanXMaxwell(), 2);
+  dev.Launch("alpha_kernel", {4, 64},
+             [](BlockContext& ctx) { ctx.ReadGlobal(1024); });
+  dev.Launch("alpha_kernel", {4, 64},
+             [](BlockContext& ctx) { ctx.ReadGlobal(1024); });
+  dev.Launch("beta_kernel", {1, 32}, [](BlockContext&) {});
+  dev.RecordTransfer(4096, "h2d");
+  std::ostringstream out;
+  WriteProfileJson(dev, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"schema\":\"culda.profile.v1\""), std::string::npos);
+  EXPECT_NE(s.find("\"alpha_kernel\":{\"launches\":2"), std::string::npos);
+  EXPECT_NE(s.find("\"beta_kernel\":{\"launches\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"id\":2"), std::string::npos);
+  EXPECT_NE(s.find("\"transfer_bytes\":4096"), std::string::npos);
+}
+
+TEST(Profiler, GroupProfileJsonListsEveryDevice) {
+  DeviceGroup group({TitanXpPascal(), TitanXpPascal()});
+  for (size_t g = 0; g < group.size(); ++g) {
+    group.device(g).Launch("k", {1, 32}, [](BlockContext&) {});
+  }
+  std::ostringstream out;
+  WriteProfileJson(group, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"devices\":[{"), std::string::npos);
+  EXPECT_NE(s.find("\"id\":0"), std::string::npos);
+  EXPECT_NE(s.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(s.find("\"peer_bytes\""), std::string::npos);
+}
+
+TEST(Profiler, MergedTraceCombinesHostSpansAndDeviceEvents) {
+  corpus::SyntheticProfile p;
+  p.num_docs = 150;
+  p.vocab_size = 200;
+  const auto c = corpus::GenerateCorpus(p);
+  core::CuldaConfig cfg;
+  cfg.num_topics = 16;
+  core::CuldaTrainer trainer(c, cfg, {});
+  trainer.group().device(0).set_record_trace(true);
+
+  obs::SpanTracer& tracer = obs::SpanTracer::Global();
+  tracer.Reset();
+  tracer.set_enabled(true);
+  trainer.Step();
+  tracer.set_enabled(false);
+
+  std::ostringstream out;
+  WriteMergedChromeTrace(trainer.group(), tracer, out);
+  tracer.Reset();
+  const std::string s = out.str();
+  // One JSON object with both timelines: simulated kernels under the
+  // device pid, trainer phases under the host pid.
+  EXPECT_EQ(s.front(), '{');
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"sampling\""), std::string::npos);
+  EXPECT_NE(s.find("\"train/step\""), std::string::npos);
+  EXPECT_NE(s.find("\"pid\":" + std::to_string(obs::kHostTracePid)),
+            std::string::npos);
+  EXPECT_NE(s.find("\"host (wall clock)\""), std::string::npos);
+  EXPECT_NE(s.find("\"stream 0\""), std::string::npos);
 }
 
 }  // namespace

@@ -13,6 +13,13 @@
 //   --batch=N         stdin lines grouped per InferBatch call (default 256)
 //   --sampler=MODE    sparse (default) | dense — dense is the O(K)
 //                     reference; both produce identical output
+//
+// Observability (docs/observability.md):
+//   --log-level=L     debug | info | warn | error | off (default info);
+//                     --quiet is shorthand for warn
+//   --metrics-out=P   JSONL metrics: one snapshot per batch (latency
+//                     percentiles, tokens/s) + a final summary
+//   --trace-out=P     host wall-clock spans as Chrome trace JSON
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -22,7 +29,10 @@
 #include "corpus/text_pipeline.hpp"
 #include "corpus/uci_reader.hpp"
 #include "corpus/vocabulary.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace culda;
@@ -35,14 +45,27 @@ struct PendingDoc {
 };
 
 void PrintBatch(const core::InferenceEngine& engine,
-                std::vector<PendingDoc>& batch, uint32_t iters) {
+                std::vector<PendingDoc>& batch, uint32_t iters,
+                obs::JsonlSink& metrics_sink) {
   std::vector<std::vector<uint32_t>> docs;
   docs.reserve(batch.size());
   for (auto& d : batch) docs.push_back(std::move(d.ids));
   // Every line keeps the single-document default seed, so the output is
   // independent of how lines happen to group into batches.
   const std::vector<uint64_t> seeds(docs.size(), 7);
+  const Stopwatch watch;
   const auto results = engine.InferBatch(docs, iters, seeds);
+  if (metrics_sink.active()) {
+    const double seconds = watch.Seconds();
+    uint64_t tokens = 0;
+    for (const auto& r : results) tokens += r.tokens;
+    obs::JsonObject fields;
+    fields.Add("docs", static_cast<uint64_t>(docs.size()))
+        .Add("tokens", tokens)
+        .Add("seconds", seconds)
+        .Add("tokens_per_sec", seconds > 0 ? tokens / seconds : 0.0);
+    metrics_sink.WriteSnapshot("infer_batch", std::move(fields));
+  }
   for (size_t i = 0; i < results.size(); ++i) {
     std::printf("%zu tokens (%zu OOV):", docs[i].size(), batch[i].oov);
     int shown = 0;
@@ -61,6 +84,7 @@ void PrintBatch(const core::InferenceEngine& engine,
 int main(int argc, char** argv) {
   try {
     const CliFlags flags(argc, argv);
+    flags.ApplyLogFlags();
     const std::string model_path = flags.GetString("model", "");
     CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
     const core::GatheredModel model = core::LoadModelFromFile(model_path);
@@ -93,6 +117,8 @@ int main(int argc, char** argv) {
 
     const std::string heldout = flags.GetString("heldout-uci", "");
     const std::string vocab_path = flags.GetString("vocab", "");
+    const std::string metrics_path = flags.GetString("metrics-out", "");
+    const std::string trace_path = flags.GetString("trace-out", "");
 
     const auto unused = flags.UnusedFlags();
     if (!unused.empty()) {
@@ -100,10 +126,34 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    obs::JsonlSink metrics_sink;
+    if (!metrics_path.empty()) {
+      metrics_sink.Open(metrics_path);
+      obs::Metrics().set_enabled(true);
+    }
+    if (!trace_path.empty()) obs::SpanTracer::Global().set_enabled(true);
+    // Serving has no simulated devices, so the trace is host-spans only.
+    const auto write_trace = [&] {
+      if (trace_path.empty()) return;
+      std::ofstream trace_out(trace_path, std::ios::trunc);
+      CULDA_CHECK_MSG(trace_out.good(),
+                      "cannot open '" << trace_path << "' for writing");
+      obs::WriteChromeTrace(obs::SpanTracer::Global(), trace_out);
+    };
+
     if (!heldout.empty()) {
       const corpus::Corpus ho = corpus::ReadUciBagOfWordsFile(heldout);
-      std::printf("document-completion perplexity: %.3f\n",
-                  engine.DocumentCompletionPerplexity(ho, iters));
+      const Stopwatch watch;
+      const double perplexity = engine.DocumentCompletionPerplexity(ho, iters);
+      std::printf("document-completion perplexity: %.3f\n", perplexity);
+      if (metrics_sink.active()) {
+        obs::JsonObject fields;
+        fields.Add("docs", static_cast<uint64_t>(ho.num_docs()))
+            .Add("seconds", watch.Seconds())
+            .Add("perplexity", perplexity);
+        metrics_sink.WriteSnapshot("infer_perplexity", std::move(fields));
+      }
+      write_trace();
       return 0;
     }
 
@@ -130,10 +180,14 @@ int main(int argc, char** argv) {
       }
       batch.push_back(std::move(doc));
       if (batch.size() >= static_cast<size_t>(batch_size)) {
-        PrintBatch(engine, batch, iters);
+        PrintBatch(engine, batch, iters, metrics_sink);
       }
     }
-    if (!batch.empty()) PrintBatch(engine, batch, iters);
+    if (!batch.empty()) PrintBatch(engine, batch, iters, metrics_sink);
+    if (metrics_sink.active()) {
+      metrics_sink.WriteSnapshot("infer_summary", obs::JsonObject());
+    }
+    write_trace();
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

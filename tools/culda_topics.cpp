@@ -5,7 +5,7 @@
 //
 // Prints the largest topics with their top words (vocabulary strings when
 // --vocab is given, ids otherwise), and optionally UMass coherence against a
-// reference corpus.
+// reference corpus. --log-level / --quiet work as in the other tools.
 #include <cstdio>
 #include <fstream>
 
@@ -20,6 +20,7 @@ using namespace culda;
 int main(int argc, char** argv) {
   try {
     const CliFlags flags(argc, argv);
+    flags.ApplyLogFlags();
     const std::string model_path = flags.GetString("model", "");
     CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
     const core::GatheredModel model =

@@ -23,7 +23,14 @@
 //                       iterations (atomic; previous kept as PATH.prev)
 //   --resume=PATH       restore a checkpoint before training; falls back to
 //                       PATH.prev with a warning if PATH is missing or torn
-//   --quiet             suppress per-iteration logging
+//   --log-level=L       debug | info | warn | error | off (default info)
+//   --quiet             shorthand for --log-level=warn; also suppresses the
+//                       per-iteration progress lines
+//   --metrics-out=PATH  JSONL metrics: one registry snapshot per iteration
+//                       (with the sync/transfer/θ timing split) + a summary
+//   --trace-out=PATH    one Chrome trace JSON merging host wall-clock spans
+//                       with the simulated-device timeline (open in Perfetto)
+//   --profile-json=PATH per-kernel aggregate profile as JSON
 #include <cstdio>
 #include <fstream>
 
@@ -33,6 +40,9 @@
 #include "corpus/split.hpp"
 #include "corpus/synthetic.hpp"
 #include "corpus/uci_reader.hpp"
+#include "gpusim/profiler.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 
 using namespace culda;
@@ -40,6 +50,7 @@ using namespace culda;
 int main(int argc, char** argv) {
   try {
     const CliFlags flags(argc, argv);
+    const LogLevel log_level = flags.ApplyLogFlags();
 
     corpus::Corpus corpus = [&] {
       const std::string uci = flags.GetString("uci", "");
@@ -86,12 +97,15 @@ int main(int argc, char** argv) {
         static_cast<uint32_t>(flags.GetInt("hyperopt", 0));
 
     const int iters = static_cast<int>(flags.GetInt("iters", 100));
-    const bool quiet = flags.GetBool("quiet", false);
+    const bool quiet = log_level > LogLevel::kInfo;
     const std::string out_path = flags.GetString("out", "");
     const std::string ckpt_path = flags.GetString("checkpoint", "");
     const int ckpt_every = static_cast<int>(flags.GetInt(
         "checkpoint-every", 10));
     const std::string resume = flags.GetString("resume", "");
+    const std::string metrics_path = flags.GetString("metrics-out", "");
+    const std::string trace_path = flags.GetString("trace-out", "");
+    const std::string profile_path = flags.GetString("profile-json", "");
 
     const auto unused = flags.UnusedFlags();
     if (!unused.empty()) {
@@ -99,7 +113,21 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // Observation-only: enabling these changes no numeric result
+    // (Obs.BitIdentity* pins that), so flipping them on is always safe.
+    obs::JsonlSink metrics_sink;
+    if (!metrics_path.empty()) {
+      metrics_sink.Open(metrics_path);
+      obs::Metrics().set_enabled(true);
+    }
+    if (!trace_path.empty()) obs::SpanTracer::Global().set_enabled(true);
+
     core::CuldaTrainer trainer(corpus, cfg, opts);
+    if (!trace_path.empty()) {
+      for (size_t g = 0; g < trainer.group().size(); ++g) {
+        trainer.group().device(g).set_record_trace(true);
+      }
+    }
     if (!resume.empty()) {
       // Falls back to `resume`.prev (with a warning) when the primary file
       // is missing or torn — a crash mid-checkpoint never strands a run.
@@ -121,9 +149,26 @@ int main(int argc, char** argv) {
       if (!quiet && (i % 10 == 0 || i + 1 == iters)) {
         std::printf(
             "iter %4u  %8.1f Mtok/s (sim)  %6.2f Mtok/s (wall)  "
-            "ll/token %.4f\n",
+            "sync %6.2f ms  xfer %6.2f ms  theta %6.2f ms  ll/token %.4f\n",
             st.iteration, st.tokens_per_sec / 1e6,
-            st.wall_tokens_per_sec / 1e6, trainer.LogLikelihoodPerToken());
+            st.wall_tokens_per_sec / 1e6, st.sync_s * 1e3,
+            st.transfer_s * 1e3, st.update_theta_s * 1e3,
+            trainer.LogLikelihoodPerToken());
+      }
+      if (metrics_sink.active()) {
+        obs::JsonObject fields;
+        fields.Add("iteration", static_cast<uint64_t>(st.iteration))
+            .Add("sim_seconds", st.sim_seconds)
+            .Add("wall_seconds", st.wall_seconds)
+            .Add("tokens_per_sec", st.tokens_per_sec)
+            .Add("wall_tokens_per_sec", st.wall_tokens_per_sec)
+            .Add("sampling_s", st.sampling_s)
+            .Add("update_theta_s", st.update_theta_s)
+            .Add("update_phi_s", st.update_phi_s)
+            .Add("sync_s", st.sync_s)
+            .Add("transfer_s", st.transfer_s)
+            .Add("theta_nnz", st.theta_nnz);
+        metrics_sink.WriteSnapshot("train_iteration", std::move(fields));
       }
       if (!ckpt_path.empty() && (i + 1) % ckpt_every == 0) {
         // Atomic write + rotation: the previous checkpoint survives as
@@ -154,6 +199,32 @@ int main(int argc, char** argv) {
       model.Validate(corpus);
       core::SaveModelToFile(model, out_path);
       std::printf("model saved to %s\n", out_path.c_str());
+    }
+
+    if (metrics_sink.active()) {
+      obs::JsonObject fields;
+      fields.Add("iterations", static_cast<uint64_t>(iters))
+          .Add("sim_seconds", sim_total)
+          .Add("wall_seconds", wall_total)
+          .Add("workers", static_cast<uint64_t>(workers))
+          .Add("tokens", trainer.num_tokens());
+      metrics_sink.WriteSnapshot("train_summary", std::move(fields));
+      std::printf("metrics written to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+      std::ofstream trace_out(trace_path, std::ios::trunc);
+      CULDA_CHECK_MSG(trace_out.good(),
+                      "cannot open '" << trace_path << "' for writing");
+      gpusim::WriteMergedChromeTrace(trainer.group(),
+                                     obs::SpanTracer::Global(), trace_out);
+      std::printf("trace written to %s\n", trace_path.c_str());
+    }
+    if (!profile_path.empty()) {
+      std::ofstream profile_out(profile_path, std::ios::trunc);
+      CULDA_CHECK_MSG(profile_out.good(),
+                      "cannot open '" << profile_path << "' for writing");
+      gpusim::WriteProfileJson(trainer.group(), profile_out);
+      std::printf("profile written to %s\n", profile_path.c_str());
     }
     return 0;
   } catch (const Error& e) {
