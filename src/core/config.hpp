@@ -63,8 +63,13 @@ struct CuldaConfig {
 
   void Validate() const {
     CULDA_CHECK_MSG(num_topics >= 2, "need at least 2 topics");
-    CULDA_CHECK_MSG(num_topics <= (1u << 16),
-                    "K must fit 16-bit topic ids (paper: K < 2^16)");
+    // Strictly below 2^16: topic ids live in uint16_t arrays (z, θ column
+    // indices), so K = 65536 would make topic 65535's id ambiguous with the
+    // saturation sentinel and K > 65536 would truncate ids outright.
+    CULDA_CHECK_MSG(num_topics <= 0xFFFF,
+                    "K = " << num_topics
+                           << " does not fit 16-bit topic ids; the paper's "
+                              "compression (§6.1.3) requires K <= 65535");
     CULDA_CHECK(beta > 0);
     if (!asymmetric_alpha.empty()) {
       CULDA_CHECK_MSG(asymmetric_alpha.size() == num_topics,

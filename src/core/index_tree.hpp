@@ -13,6 +13,7 @@
 // entries per level.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -64,15 +65,27 @@ class IndexTreeView {
   /// Builds the tree from probabilities `p` (length n). Returns the total
   /// mass (the last prefix sum). Costs n adds for the leaves plus ~n/(F-1)
   /// adds for the internal levels.
+  ///
+  /// Contract: every p[i] must be finite and non-negative (checked
+  /// per-element in debug builds; the final mass is checked in every
+  /// build, so a NaN or net-negative input always fails loudly instead of
+  /// producing a tree whose Search silently returns the last leaf). A
+  /// legally-built tree may still have zero total mass (all-zero p);
+  /// sampling from one is the caller's bug and is rejected by Search.
   float Build(std::span<const float> p) {
     CULDA_CHECK(p.size() == n_);
     if (n_ == 0) return 0.0f;
     float acc = 0;
     std::span<float> leaves = Level(0);
     for (size_t i = 0; i < n_; ++i) {
+      CULDA_DCHECK(p[i] >= 0.0f);
       acc += p[i];
       leaves[i] = acc;
     }
+    CULDA_CHECK_MSG(std::isfinite(acc) && acc >= 0.0f,
+                    "index-tree mass must be finite and non-negative, got "
+                        << acc
+                        << " (NaN or negative probabilities in the input)");
     for (size_t l = 1; l < num_levels_; ++l) {
       std::span<const float> below = Level(l - 1);
       std::span<float> cur = Level(l);
@@ -93,8 +106,22 @@ class IndexTreeView {
   /// Finds the minimal k with prefix[k] > u (clamped to n-1 for u at or
   /// beyond the total mass, absorbing float round-off). `comparisons`, if
   /// given, receives the number of entries inspected — the cost a warp pays.
+  ///
+  /// Contract: `u` must be finite and non-negative, and the tree must have
+  /// positive total mass. Both are checked in every build: a NaN draw or a
+  /// zero-mass tree previously fell through the round-off clamp and
+  /// silently returned the last leaf — a sampling bug indistinguishable
+  /// from a legitimate draw (see tests/test_index_tree.cpp edge cases).
   size_t Search(float u, uint64_t* comparisons = nullptr) const {
-    CULDA_DCHECK(n_ > 0);
+    CULDA_CHECK_MSG(n_ > 0, "cannot sample from an empty index tree");
+    CULDA_CHECK_MSG(std::isfinite(u) && u >= 0.0f,
+                    "index-tree search point must be finite and "
+                    "non-negative, got "
+                        << u);
+    CULDA_CHECK_MSG(TotalMass() > 0.0f,
+                    "cannot sample from an index tree with total mass "
+                        << TotalMass()
+                        << "; the distribution has no support");
     uint64_t inspected = 0;
     // Walk top-down. `lo` is the first leaf index of the current subtree.
     size_t group_begin = 0;  // index of the first entry of the group at the

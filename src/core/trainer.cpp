@@ -14,6 +14,7 @@
 #include "util/log.hpp"
 #include "util/philox.hpp"
 #include "util/stopwatch.hpp"
+#include "validate/invariants.hpp"
 
 namespace culda::core {
 
@@ -67,6 +68,22 @@ CuldaTrainer::CuldaTrainer(const corpus::Corpus& corpus, CuldaConfig cfg,
       group_(opts_.gpus, opts_.peer_link, opts_.pool) {
   cfg_.Validate();
   CULDA_CHECK_MSG(corpus.num_tokens() > 0, "cannot train on an empty corpus");
+  // φ counts are 16-bit (§6.1.3) and the synced replica holds *global*
+  // counts, so a word's cell can reach its corpus frequency if every
+  // occurrence lands on one topic. A word more frequent than 65535 could
+  // therefore wrap φ silently mid-training; reject such corpora up front
+  // instead (the paper prunes stop words, which removes exactly these).
+  {
+    const std::vector<uint64_t> freq = corpus.WordFrequencies();
+    for (size_t v = 0; v < freq.size(); ++v) {
+      CULDA_CHECK_MSG(
+          freq[v] <= 0xFFFF,
+          "word " << v << " occurs " << freq[v]
+                  << " times; 16-bit φ counts can overflow beyond 65535 "
+                     "occurrences — prune heavy/stop words or shard the "
+                     "vocabulary");
+    }
+  }
 
   ChooseM();
   BuildChunks();
@@ -128,7 +145,11 @@ void CuldaTrainer::BuildChunks() {
     // index, so the initial state is independent of the partition.
     for (uint64_t t = 0; t < chunk.z.size(); ++t) {
       PhiloxStream rng(cfg_.seed, chunk.layout.token_global[t]);
-      chunk.z[t] = static_cast<uint16_t>(rng.NextBelow(cfg_.num_topics));
+      // NextBelow(K) < K <= 0xFFFF (CuldaConfig::Validate), so the narrowing
+      // is provably lossless; the DCHECK keeps it honest if the K cap moves.
+      const uint32_t topic = rng.NextBelow(cfg_.num_topics);
+      CULDA_DCHECK(topic <= 0xFFFF);
+      chunk.z[t] = static_cast<uint16_t>(topic);
     }
     chunk.theta = ThetaMatrix(chunk.layout.num_docs(), cfg_.num_topics);
     chunks_.push_back(std::move(chunk));
@@ -184,6 +205,9 @@ void CuldaTrainer::RebuildCountsFromZ() {
     RunComputeNkKernel(group_.device(g), cfg_, replicas_[g]);
   });
   group_.Barrier();
+  // Covers every path that rewrites the counts wholesale: construction,
+  // checkpoint restore, and ImportAssignments.
+  CULDA_VALIDATE_HOOK(if (opts_.validate) ValidateState());
 }
 
 uint64_t CuldaTrainer::ChunkUploadBytes(const ChunkState& chunk) const {
@@ -205,7 +229,18 @@ IterationStats CuldaTrainer::Step() {
   } else {
     StepWs2(stats);
   }
+  // Post-sampling/θ-update, pre-sync: each chunk's z and θ must already
+  // agree (φ is mid-flight in accum_, so only per-chunk checks apply here).
+  CULDA_VALIDATE_HOOK(if (opts_.validate) {
+    for (size_t c = 0; c < chunks_.size(); ++c) {
+      validate::ValidateChunk(*corpus_, cfg_, chunks_[c],
+                              "chunk " + std::to_string(c));
+    }
+  });
   SyncAndFinishIteration(stats);
+  // Post-sync: the replicas hold the global counts again, so the full
+  // inventory (φ vs z, replica agreement, saturation margin) applies.
+  CULDA_VALIDATE_HOOK(if (opts_.validate) ValidateState());
 
   stats.sim_seconds = group_.Now() - t0;
   stats.wall_seconds = wall.Seconds();
@@ -350,6 +385,10 @@ void CuldaTrainer::SyncAndFinishIteration(IterationStats& stats) {
   });
   for (const double s : nk_s) stats.update_phi_s += s;
   group_.Barrier();
+}
+
+void CuldaTrainer::ValidateState() const {
+  validate::ValidateModelState(*corpus_, cfg_, chunks_, replicas_);
 }
 
 std::vector<IterationStats> CuldaTrainer::Train(uint32_t iterations) {

@@ -27,6 +27,7 @@
 #include "corpus/corpus.hpp"
 #include "gpusim/multi_gpu.hpp"
 #include "util/thread_pool.hpp"
+#include "validate/validate.hpp"
 
 namespace culda::core {
 
@@ -55,6 +56,12 @@ struct TrainerOptions {
   /// fixed point (0 = off, the paper's fixed 50/K / 0.01 setting). An
   /// extension over the paper; see core/hyperopt.hpp.
   uint32_t hyperopt_interval = 0;
+  /// Run the full invariant inventory (src/validate) after count rebuilds,
+  /// per-chunk after every sampling/θ-update step, and after every φ sync.
+  /// Only honored in a -DCULDA_VALIDATE=ON build — the hook sites do not
+  /// exist otherwise — hence the default: on exactly when they are
+  /// compiled. ValidateState() below works in every build regardless.
+  bool validate = culda::validate::kHooksCompiled;
 };
 
 /// Timing record of one training iteration, in simulated seconds. The
@@ -115,6 +122,13 @@ class CuldaTrainer {
 
   /// Current iteration count (number of completed Step() calls).
   uint32_t iteration() const { return iteration_; }
+
+  /// Checks the full invariant inventory over the current state (every
+  /// chunk's layout/z/θ, replica agreement, φ against z and the corpus);
+  /// throws validate::ValidationError naming the first violated invariant.
+  /// Available in every build; the TrainerOptions::validate hooks call this
+  /// automatically in -DCULDA_VALIDATE=ON builds.
+  void ValidateState() const;
 
   // --- Checkpointing --------------------------------------------------------
   // A checkpoint is the per-token topic assignment plus the iteration

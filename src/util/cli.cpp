@@ -1,5 +1,7 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/check.hpp"
@@ -45,11 +47,18 @@ int64_t CliFlags::GetInt(const std::string& name,
   used_[name] = true;
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
+  // strtoll alone under-rejects: an empty value parses as 0 with no
+  // consumed characters, and an out-of-range value clamps to
+  // LLONG_MIN/MAX with errno = ERANGE — both with *end == '\0'.
   char* end = nullptr;
+  errno = 0;
   const int64_t v = std::strtoll(it->second.c_str(), &end, 10);
-  CULDA_CHECK_MSG(end && *end == '\0',
+  CULDA_CHECK_MSG(end != it->second.c_str() && end && *end == '\0',
                   "flag --" << name << " expects an integer, got '"
                             << it->second << "'");
+  CULDA_CHECK_MSG(errno != ERANGE, "flag --" << name << " value '"
+                                             << it->second
+                                             << "' is out of range");
   return v;
 }
 
@@ -59,10 +68,14 @@ double CliFlags::GetDouble(const std::string& name,
   const auto it = values_.find(name);
   if (it == values_.end()) return default_value;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
-  CULDA_CHECK_MSG(end && *end == '\0',
+  CULDA_CHECK_MSG(end != it->second.c_str() && end && *end == '\0',
                   "flag --" << name << " expects a number, got '"
                             << it->second << "'");
+  CULDA_CHECK_MSG(errno != ERANGE && std::isfinite(v),
+                  "flag --" << name << " value '" << it->second
+                            << "' is out of range");
   return v;
 }
 

@@ -1,0 +1,132 @@
+#include "validate/chi_square.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace culda::validate {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-14;
+
+/// Lower regularized gamma P(a, x) by series: P = x^a e^-x / Γ(a+1) ·
+/// Σ x^n · Γ(a+1)/Γ(a+1+n). Converges fast for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double term = 1.0 / a;
+  double sum = term;
+  double ap = a;
+  for (int n = 0; n < kMaxIterations; ++n) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Upper regularized gamma Q(a, x) by modified Lentz continued fraction:
+/// Q = e^-x x^a / Γ(a) · (1/(x+1−a− 1·(1−a)/(x+3−a− ...))). Converges fast
+/// for x ≥ a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double RegularizedGammaQ(double a, double x) {
+  CULDA_CHECK_MSG(a > 0 && x >= 0 && std::isfinite(a) && std::isfinite(x),
+                  "RegularizedGammaQ requires a > 0 and finite x >= 0, got a="
+                      << a << " x=" << x);
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquarePValue(double chi2, double dof) {
+  CULDA_CHECK_MSG(dof > 0 && chi2 >= 0,
+                  "ChiSquarePValue requires dof > 0 and chi2 >= 0, got dof="
+                      << dof << " chi2=" << chi2);
+  return RegularizedGammaQ(dof / 2.0, chi2 / 2.0);
+}
+
+ChiSquareResult ChiSquareGof(std::span<const uint64_t> observed,
+                             std::span<const double> expected,
+                             double min_expected) {
+  CULDA_CHECK_MSG(observed.size() == expected.size(),
+                  "observed/expected length mismatch: " << observed.size()
+                      << " vs " << expected.size());
+  ChiSquareResult result;
+
+  // Pool adjacent bins until each pooled bin expects at least min_expected.
+  // Deterministic left-to-right pooling; the tail is merged backwards into
+  // the last valid pool so no mass is dropped.
+  std::vector<double> pooled_expected;
+  std::vector<uint64_t> pooled_observed;
+  double acc_e = 0;
+  uint64_t acc_o = 0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    CULDA_CHECK_MSG(expected[i] >= 0 && std::isfinite(expected[i]),
+                    "expected[" << i << "] = " << expected[i]
+                                << " must be finite and non-negative");
+    if (expected[i] == 0.0 && observed[i] > 0) {
+      // An outcome with probability zero occurred: no statistic needed.
+      result.statistic = std::numeric_limits<double>::infinity();
+      result.dof = 1;
+      result.p_value = 0;
+      return result;
+    }
+    acc_e += expected[i];
+    acc_o += observed[i];
+    if (acc_e >= min_expected) {
+      pooled_expected.push_back(acc_e);
+      pooled_observed.push_back(acc_o);
+      acc_e = 0;
+      acc_o = 0;
+    }
+  }
+  if (acc_e > 0 || acc_o > 0) {
+    if (pooled_expected.empty()) {
+      pooled_expected.push_back(acc_e);
+      pooled_observed.push_back(acc_o);
+    } else {
+      pooled_expected.back() += acc_e;
+      pooled_observed.back() += acc_o;
+    }
+  }
+
+  if (pooled_expected.size() < 2) return result;  // dof 0: nothing to test
+
+  double chi2 = 0;
+  for (size_t i = 0; i < pooled_expected.size(); ++i) {
+    const double diff =
+        static_cast<double>(pooled_observed[i]) - pooled_expected[i];
+    chi2 += diff * diff / pooled_expected[i];
+  }
+  result.statistic = chi2;
+  result.dof = static_cast<double>(pooled_expected.size() - 1);
+  result.p_value = ChiSquarePValue(chi2, result.dof);
+  return result;
+}
+
+}  // namespace culda::validate

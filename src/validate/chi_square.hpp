@@ -1,0 +1,41 @@
+// Chi-square goodness-of-fit testing for sampler conformance
+// (docs/validation.md, "Chi-square methodology").
+//
+// The differential harness checks empirical sampling frequencies against
+// exactly enumerated distributions. The statistic is Pearson's
+// X² = Σ (O_i − E_i)²/E_i over bins pooled so every expected count is ≥ 5
+// (the standard validity rule); the p-value is the upper tail of the
+// chi-square distribution with (bins − 1) degrees of freedom, computed from
+// the regularized incomplete gamma function Q(dof/2, X²/2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace culda::validate {
+
+/// Regularized upper incomplete gamma Q(a, x) = Γ(a, x)/Γ(a) for a > 0,
+/// x ≥ 0 — series expansion below x < a+1, Lentz continued fraction above.
+/// Relative error ~1e-10 over the range chi-square testing uses.
+double RegularizedGammaQ(double a, double x);
+
+/// Upper-tail p-value of the chi-square distribution:
+/// P(X ≥ chi2 | dof) = Q(dof/2, chi2/2).
+double ChiSquarePValue(double chi2, double dof);
+
+struct ChiSquareResult {
+  double statistic = 0;  ///< Pearson X² over the pooled bins
+  double dof = 0;        ///< pooled bins − 1
+  double p_value = 1;    ///< upper-tail probability; small = mismatch
+};
+
+/// Pearson goodness-of-fit of observed counts against expected counts
+/// (same length; Σ expected should equal Σ observed). Adjacent bins are
+/// pooled until every pooled bin has expected ≥ `min_expected`. An observed
+/// count in a zero-expected bin (an impossible outcome that occurred) is
+/// reported as p = 0. Fewer than two pooled bins degenerate to p = 1.
+ChiSquareResult ChiSquareGof(std::span<const uint64_t> observed,
+                             std::span<const double> expected,
+                             double min_expected = 5.0);
+
+}  // namespace culda::validate

@@ -1,0 +1,65 @@
+// Differential sampler-conformance harness (docs/validation.md).
+//
+// Two layers of cross-checking:
+//
+// 1. Count-table conformance. CuldaTrainer and the CPU baselines (cpu_cgs,
+//    sparse_lda, fplus_lda) run on the same corpus. Their *assignments*
+//    legitimately differ (delayed-update vs exact-Gibbs semantics, distinct
+//    RNG contracts), so the harness compares what must agree regardless of
+//    sampler semantics: every solver's count tables rebuilt from its own z
+//    match the tables it maintains incrementally, and the z-independent
+//    marginals — Σ_k n_kv per word (the corpus word frequency), Σ_k n_dk per
+//    document (the document length), Σ n_k (the token count) — agree across
+//    every solver and with the corpus.
+//
+// 2. Sampling-distribution conformance. The IndexTreeView search (the
+//    paper's Figure 5 structure, on both the training and serving paths) and
+//    the serving engine's bucket-decomposed sampler are frequency-tested
+//    against exact enumeration of small distributions with a chi-square
+//    goodness-of-fit (chi_square.hpp); the harness first surfaced the
+//    degenerate-input behaviors fixed in core/index_tree.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/config.hpp"
+#include "core/inference.hpp"
+#include "core/model.hpp"
+#include "corpus/corpus.hpp"
+#include "validate/chi_square.hpp"
+
+namespace culda::validate {
+
+struct ConformanceOptions {
+  uint32_t iterations = 3;  ///< training iterations per solver
+  uint32_t gpus = 1;        ///< simulated GPUs for the CuldaTrainer run
+};
+
+/// Runs CuldaTrainer and the three CPU baselines on `corpus` under `cfg`
+/// and applies every count-table check described above. Throws
+/// ValidationError naming the first solver/invariant that disagrees.
+void RunCountConformance(const corpus::Corpus& corpus,
+                         const core::CuldaConfig& cfg,
+                         const ConformanceOptions& options = {});
+
+/// Draws `draws` samples from an IndexTreeView built over `p` (uniform u in
+/// [0, total mass), deterministic in `seed`) and chi-square-tests the
+/// empirical topic frequencies against the exact probabilities p/Σp.
+ChiSquareResult TreeSamplingGof(std::span<const float> p, uint32_t fanout,
+                                uint64_t draws, uint64_t seed);
+
+/// Frequency-tests the serving engine's bucket-decomposed conditional.
+/// A single-token document of `word` is folded in for one sweep under
+/// `draws` distinct seeds; after the sweep's decrement the document bucket
+/// is empty, so the exact conditional is enumerable in closed form:
+/// p(k) ∝ α_k (φ_kv + β) / (n_k + βV). Returns the chi-square fit of the
+/// empirical assignment frequencies against it. Exercises the word-bucket
+/// prefix search and the smoothing-bucket IndexTreeView of the chosen
+/// sampler mode.
+ChiSquareResult BucketSamplerGof(const core::GatheredModel& model,
+                                 const core::CuldaConfig& cfg,
+                                 core::InferSampler sampler, uint32_t word,
+                                 uint64_t draws, uint64_t seed);
+
+}  // namespace culda::validate

@@ -1,0 +1,34 @@
+// Compile-time gate for the invariant-validation layer (docs/validation.md).
+//
+// The checkers in invariants.hpp are ordinary library functions and are
+// always compiled — tests and tools call them on demand. What the
+// -DCULDA_VALIDATE=ON build adds is the *automatic hook sites* inside
+// CuldaTrainer (after sampling/θ-update, after φ-sync, after init/restore):
+// CULDA_VALIDATE_HOOK(stmt) compiles `stmt` only in validating builds, so
+// the default build pays nothing — not even a branch — on the training hot
+// path.
+#pragma once
+
+namespace culda::validate {
+
+/// True when this build compiles the trainer's automatic validation hooks
+/// (-DCULDA_VALIDATE=ON). TrainerOptions::validate defaults to this, so a
+/// validating build self-checks every trainer out of the box.
+#ifdef CULDA_VALIDATE_ON
+inline constexpr bool kHooksCompiled = true;
+#else
+inline constexpr bool kHooksCompiled = false;
+#endif
+
+}  // namespace culda::validate
+
+#ifdef CULDA_VALIDATE_ON
+#define CULDA_VALIDATE_HOOK(stmt) \
+  do {                            \
+    stmt;                         \
+  } while (0)
+#else
+#define CULDA_VALIDATE_HOOK(stmt) \
+  do {                            \
+  } while (0)
+#endif

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/index_tree.hpp"
@@ -185,6 +186,58 @@ TEST(IndexTree, SamplingFrequenciesMatchDistribution) {
     const double expect = draws * p[k] / total;
     EXPECT_NEAR(hits[k], expect, 5 * std::sqrt(expect) + 5) << "k=" << k;
   }
+}
+
+// ------------------------------------------------ degenerate-input contract
+// These inputs previously fell through the round-off clamp and silently
+// returned the last leaf — a sampling bug indistinguishable from a real
+// draw. The contract (index_tree.hpp) now rejects them loudly.
+
+TEST(IndexTree, NanInputFailsBuild) {
+  IndexTree tree(4, 2);
+  const std::vector<float> p{0.5f, std::nanf(""), 0.25f, 0.25f};
+  EXPECT_THROW(tree.view().Build(p), Error);
+}
+
+TEST(IndexTree, NetNegativeMassFailsBuild) {
+  IndexTree tree(2, 2);
+  const std::vector<float> p{1.0f, -3.0f};
+  EXPECT_THROW(tree.view().Build(p), Error);
+}
+
+TEST(IndexTree, AllZeroDistributionFailsSearchNotBuild) {
+  // An all-zero build is legal (a θ row can transiently have no mass to
+  // offer a bucket); *sampling* from it is the bug.
+  IndexTree tree(8, 2);
+  const std::vector<float> p(8, 0.0f);
+  EXPECT_NO_THROW(tree.view().Build(p));
+  EXPECT_EQ(tree.view().TotalMass(), 0.0f);
+  try {
+    tree.view().Search(0.0f);
+    FAIL() << "searching a zero-mass tree must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("mass"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(IndexTree, InvalidSearchPointsRejected) {
+  IndexTree tree(4, 2);
+  const std::vector<float> p{0.25f, 0.25f, 0.25f, 0.25f};
+  tree.view().Build(p);
+  EXPECT_THROW(tree.view().Search(std::nanf("")), Error);
+  EXPECT_THROW(tree.view().Search(-0.5f), Error);
+  EXPECT_THROW(
+      tree.view().Search(std::numeric_limits<float>::infinity()), Error);
+  // The documented clamp for u at/beyond the mass still holds.
+  EXPECT_EQ(tree.view().Search(1.0f), 3u);
+  EXPECT_EQ(tree.view().Search(5.0f), 3u);
+}
+
+TEST(IndexTree, EmptyTreeSearchRejected) {
+  IndexTree tree(0, 32);
+  EXPECT_EQ(tree.view().Build({}), 0.0f);
+  EXPECT_THROW(tree.view().Search(0.0f), Error);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 #include <sstream>
@@ -208,6 +209,51 @@ TEST(Cli, DoubleParsing) {
   const char* argv[] = {"prog", "--scale=0.25"};
   CliFlags flags(2, argv);
   EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 1.0), 0.25);
+}
+
+TEST(Cli, TrailingGarbageRejected) {
+  // strtoll/strtod stop at the first bad character; the remainder must make
+  // the whole value invalid, not be silently dropped.
+  const char* argv[] = {"prog", "--k=12abc", "--scale=0.5x"};
+  CliFlags flags(3, argv);
+  EXPECT_THROW(flags.GetInt("k", 0), Error);
+  EXPECT_THROW(flags.GetDouble("scale", 1.0), Error);
+}
+
+TEST(Cli, EmptyValueRejected) {
+  // `--k=` parses zero characters, which strtoll reports as value 0 with
+  // *end == '\0' — previously accepted as a silent 0.
+  const char* argv[] = {"prog", "--k=", "--scale="};
+  CliFlags flags(3, argv);
+  EXPECT_THROW(flags.GetInt("k", 7), Error);
+  EXPECT_THROW(flags.GetDouble("scale", 1.5), Error);
+}
+
+TEST(Cli, OutOfRangeIntegerRejected) {
+  // Out-of-range values clamp to LLONG_MIN/MAX with errno = ERANGE instead
+  // of failing the end-pointer check — previously accepted as the clamp.
+  const char* argv[] = {"prog", "--k=99999999999999999999999",
+                        "--j=-99999999999999999999999"};
+  CliFlags flags(3, argv);
+  EXPECT_THROW(flags.GetInt("k", 0), Error);
+  EXPECT_THROW(flags.GetInt("j", 0), Error);
+}
+
+TEST(Cli, NonFiniteDoubleRejected) {
+  const char* argv[] = {"prog", "--a=1e999", "--b=inf", "--c=nan"};
+  CliFlags flags(4, argv);
+  EXPECT_THROW(flags.GetDouble("a", 0.0), Error);
+  EXPECT_THROW(flags.GetDouble("b", 0.0), Error);
+  EXPECT_THROW(flags.GetDouble("c", 0.0), Error);
+}
+
+TEST(Cli, ExtremeButRepresentableValuesAccepted) {
+  const char* argv[] = {"prog", "--k=-9223372036854775808",
+                        "--j=9223372036854775807", "--scale=1e300"};
+  CliFlags flags(4, argv);
+  EXPECT_EQ(flags.GetInt("k", 0), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(flags.GetInt("j", 0), std::numeric_limits<int64_t>::max());
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 0.0), 1e300);
 }
 
 // ----------------------------------------------------------------- check --

@@ -13,6 +13,9 @@
 //   --batch=N         stdin lines grouped per InferBatch call (default 256)
 //   --sampler=MODE    sparse (default) | dense — dense is the O(K)
 //                     reference; both produce identical output
+//   --validate        check the loaded model's structural invariants
+//                     (src/validate) before serving; exits 1 with the
+//                     violated invariant's name on corruption
 //
 // Observability (docs/observability.md):
 //   --log-level=L     debug | info | warn | error | off (default info);
@@ -34,6 +37,7 @@
 #include "util/cli.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
+#include "validate/invariants.hpp"
 
 using namespace culda;
 
@@ -88,6 +92,13 @@ int main(int argc, char** argv) {
     const std::string model_path = flags.GetString("model", "");
     CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
     const core::GatheredModel model = core::LoadModelFromFile(model_path);
+    if (flags.GetBool("validate", false)) {
+      // Beyond the container's CRC: a model that round-tripped intact can
+      // still have been written from corrupted training state.
+      validate::ValidateServedModel(model);
+      std::printf("model invariants OK (%u topics, %u words)\n",
+                  model.num_topics, model.vocab_size);
+    }
 
     core::CuldaConfig cfg;
     cfg.num_topics = model.num_topics;

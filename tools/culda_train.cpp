@@ -23,6 +23,11 @@
 //                       iterations (atomic; previous kept as PATH.prev)
 //   --resume=PATH       restore a checkpoint before training; falls back to
 //                       PATH.prev with a warning if PATH is missing or torn
+//   --validate          check the full invariant inventory (src/validate)
+//                       after restore and after every iteration; exits 1
+//                       with the violated invariant's name on corruption.
+//                       Works in every build; a -DCULDA_VALIDATE=ON build
+//                       additionally self-checks inside each step.
 //   --log-level=L       debug | info | warn | error | off (default info)
 //   --quiet             shorthand for --log-level=warn; also suppresses the
 //                       per-iteration progress lines
@@ -95,6 +100,8 @@ int main(int argc, char** argv) {
         static_cast<uint32_t>(flags.GetInt("chunks-per-gpu", 0));
     opts.hyperopt_interval =
         static_cast<uint32_t>(flags.GetInt("hyperopt", 0));
+    const bool validate = flags.GetBool("validate", false);
+    opts.validate = opts.validate || validate;
 
     const int iters = static_cast<int>(flags.GetInt("iters", 100));
     const bool quiet = log_level > LogLevel::kInfo;
@@ -134,6 +141,7 @@ int main(int argc, char** argv) {
       const std::string used = trainer.RestoreCheckpointFromFile(resume);
       std::printf("resumed from %s at iteration %u\n", used.c_str(),
                   trainer.iteration());
+      if (validate) trainer.ValidateState();
     }
     std::printf("%zu x %s | M=%u (%s)\n", opts.gpus.size(),
                 opts.gpus[0].name.c_str(), trainer.chunks_per_gpu(),
@@ -144,6 +152,7 @@ int main(int argc, char** argv) {
     double wall_total = 0;
     for (int i = 0; i < iters; ++i) {
       const auto st = trainer.Step();
+      if (validate) trainer.ValidateState();
       sim_total += st.sim_seconds;
       wall_total += st.wall_seconds;
       if (!quiet && (i % 10 == 0 || i + 1 == iters)) {
