@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "baselines/alias_table.hpp"
+#include "core/sampler/alias_table.hpp"
 #include "core/evaluator.hpp"
 #include "core/kernels.hpp"
 #include "corpus/chunking.hpp"
@@ -35,7 +35,7 @@ gpusim::KernelRecord RunSaberSamplingKernel(gpusim::Device& device,
     // Per-word q(k) = α(φ_kv + β)/(n_k + βV) and its alias table (built in
     // global memory: K reads + ~2K float writes).
     thread_local std::vector<float> q;
-    thread_local AliasTable table;
+    thread_local core::AliasTable table;
     if (q.size() < k_topics) q.resize(k_topics);
     float q_mass = 0;
     for (uint32_t k = 0; k < k_topics; ++k) {

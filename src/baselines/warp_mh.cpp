@@ -24,7 +24,7 @@ void WarpMhSampler::RebuildAliasTables(CpuCostTracker& cost) {
       w[k] = static_cast<float>(state_.nw(k, v)) +
              static_cast<float>(state_.beta);
     }
-    word_alias_[v].Build(w);
+    word_alias_[v].Build(w, alias_scratch_);
   }
   // Streaming pass over nw plus table writes.
   const uint64_t cells =
@@ -103,7 +103,7 @@ void WarpMhSampler::Step() {
         }
         // ---- Word proposal: q_w(k) ∝ ñ_kv + β (stale alias table).
         {
-          const AliasTable& table = word_alias_[w];
+          const core::AliasTable& table = word_alias_[w];
           const uint16_t prop =
               table.Sample(rng.NextU32(), rng.NextFloat());
           cost.RandomRead(8);  // alias cell

@@ -19,10 +19,10 @@
 // touches — exactly the cache-pressure profile the WarpLDA paper optimizes.
 #pragma once
 
-#include "baselines/alias_table.hpp"
 #include "baselines/cpu_state.hpp"
 #include "baselines/lda_solver.hpp"
 #include "core/config.hpp"
+#include "core/sampler/alias_table.hpp"
 
 namespace culda::baselines {
 
@@ -57,7 +57,8 @@ class WarpMhSampler : public LdaSolver {
   double modeled_seconds_ = 0;
   uint64_t proposals_ = 0;
   uint64_t accepts_ = 0;
-  std::vector<AliasTable> word_alias_;  ///< one per word, stale per sweep
+  core::AliasBuildScratch alias_scratch_;    ///< reused across rebuilds
+  std::vector<core::AliasTable> word_alias_;  ///< one per word, stale per sweep
 };
 
 }  // namespace culda::baselines

@@ -6,6 +6,7 @@
 #include "obs/obs.hpp"
 #include "util/check.hpp"
 #include "util/philox.hpp"
+#include "util/simd.hpp"
 
 namespace culda::core {
 
@@ -26,6 +27,23 @@ InferenceEngine::InferenceEngine(const GatheredModel& model, CuldaConfig cfg,
   }
   BuildSmoothingTree();
   BuildWordColumns();
+  if (options_.sampler == InferSampler::kAliasMH) {
+    CULDA_CHECK_MSG(options_.mh_cycles >= 1,
+                    "kAliasMH needs at least one MH cycle per token");
+    BuildAliasTables();
+  } else if (options_.sampler == InferSampler::kDenseReference) {
+    // Contiguous transpose of φ so the O(K) column scans walk adjacent
+    // memory (and the SIMD zero-run skip applies). Same uint16 values read
+    // in the same k order as the row-major reads they replace.
+    const uint32_t k_topics = model.num_topics;
+    phi_t_.resize(static_cast<size_t>(model.vocab_size) * k_topics);
+    for (uint32_t k = 0; k < k_topics; ++k) {
+      const auto row = model.phi.Row(k);
+      for (uint32_t v = 0; v < model.vocab_size; ++v) {
+        phi_t_[static_cast<size_t>(v) * k_topics + k] = row[v];
+      }
+    }
+  }
 }
 
 void InferenceEngine::BuildSmoothingTree() {
@@ -35,10 +53,19 @@ void InferenceEngine::BuildSmoothingTree() {
   smooth_tree_ = IndexTreeView(smooth_storage_, k_topics, cfg_.tree_fanout);
   std::vector<float> terms(k_topics);
   smooth_mass_ = 0;
-  for (uint32_t k = 0; k < k_topics; ++k) {
-    const double s_k = cfg_.AlphaOf(k) * cfg_.beta * inv_denom_[k];
-    smooth_mass_ += s_k;
-    terms[k] = static_cast<float>(s_k);
+  if (cfg_.asymmetric_alpha.empty()) {
+    // Symmetric prior: p*(k) = (αβ)·inv_denom[k] is one scale-and-narrow
+    // batch. Left-to-right `α·β·inv` is (α·β)·inv, so hoisting the product
+    // keeps the doubles bitwise equal to the per-k expression below.
+    const double s = cfg_.EffectiveAlpha() * cfg_.beta;
+    for (uint32_t k = 0; k < k_topics; ++k) smooth_mass_ += s * inv_denom_[k];
+    simd::ScaleF64ToF32(inv_denom_.data(), s, terms.data(), k_topics);
+  } else {
+    for (uint32_t k = 0; k < k_topics; ++k) {
+      const double s_k = cfg_.AlphaOf(k) * cfg_.beta * inv_denom_[k];
+      smooth_mass_ += s_k;
+      terms[k] = static_cast<float>(s_k);
+    }
   }
   smooth_tree_.Build(terms);
 }
@@ -47,36 +74,94 @@ void InferenceEngine::BuildWordColumns() {
   const uint32_t k_topics = model_->num_topics;
   const uint32_t v_words = model_->vocab_size;
 
-  // Counting-sort transpose of the dense φ: pass 1 sizes the columns,
-  // pass 2 (k ascending) appends, so each column's topics come out sorted.
-  col_ptr_.assign(v_words + 1, 0);
+  // Counting-sort transpose of the dense φ: pass 1 sizes the columns
+  // (integer nonzero counting — exact, so the SIMD variant is trivially
+  // identical), pass 2 (k ascending) appends by zero-run skipping each row,
+  // so each column's topics come out sorted.
+  std::vector<int32_t> nnz(v_words, 0);
   for (uint32_t k = 0; k < k_topics; ++k) {
-    const auto row = model_->phi.Row(k);
-    for (uint32_t v = 0; v < v_words; ++v) {
-      if (row[v] != 0) ++col_ptr_[v + 1];
-    }
+    simd::AccumulateNonZeroU16(model_->phi.Row(k).data(), nnz.data(),
+                               v_words);
   }
-  for (uint32_t v = 0; v < v_words; ++v) col_ptr_[v + 1] += col_ptr_[v];
+  col_ptr_.assign(v_words + 1, 0);
+  for (uint32_t v = 0; v < v_words; ++v) {
+    col_ptr_[v + 1] = col_ptr_[v] + static_cast<uint64_t>(nnz[v]);
+  }
 
   col_topic_.resize(col_ptr_[v_words]);
   std::vector<uint64_t> cursor(col_ptr_.begin(), col_ptr_.end() - 1);
   for (uint32_t k = 0; k < k_topics; ++k) {
-    const auto row = model_->phi.Row(k);
-    for (uint32_t v = 0; v < v_words; ++v) {
-      if (row[v] != 0) col_topic_[cursor[v]++] = static_cast<uint16_t>(k);
+    const uint16_t* row = model_->phi.Row(k).data();
+    for (size_t v = simd::NextNonZeroU16(row, v_words, 0); v < v_words;
+         v = simd::NextNonZeroU16(row, v_words, v + 1)) {
+      col_topic_[cursor[v]++] = static_cast<uint16_t>(k);
     }
   }
 
-  col_prefix_.resize(col_topic_.size());
+  // The in-column prefix feeds only the exact samplers' W binary search;
+  // kAliasMH replaces it with per-column alias cells (BuildAliasTables), so
+  // skip the allocation there. word_mass_ is always needed — it is the
+  // sparse/MH scoring W mass.
+  const bool need_prefix = options_.sampler != InferSampler::kAliasMH;
+  col_prefix_.resize(need_prefix ? col_topic_.size() : 0);
   word_mass_.assign(v_words, 0.0);
   for (uint32_t v = 0; v < v_words; ++v) {
     double acc = 0;
     for (uint64_t j = col_ptr_[v]; j < col_ptr_[v + 1]; ++j) {
       const uint32_t k = col_topic_[j];
       acc += WordTerm(k, model_->phi(k, v));
-      col_prefix_[j] = acc;
+      if (need_prefix) col_prefix_[j] = acc;
     }
     word_mass_[v] = acc;
+  }
+}
+
+void InferenceEngine::BuildAliasTables() {
+  const uint32_t k_topics = model_->num_topics;
+  const uint32_t v_words = model_->vocab_size;
+  alpha_sum_ = cfg_.AlphaSum();
+
+  // Shared smoothing branch of the word proposal: β·inv_denom[k], drawn
+  // through one alias over inv_denom (the β factor cancels in the draw).
+  std::vector<float> weights(k_topics);
+  beta_mass_ = 0;
+  for (uint32_t k = 0; k < k_topics; ++k) {
+    beta_mass_ += cfg_.beta * inv_denom_[k];
+    weights[k] = static_cast<float>(inv_denom_[k]);
+  }
+  beta_alias_.Build(weights);
+
+  // Doc-proposal prior branch: uniform when symmetric (no table needed —
+  // a constant-weight alias is just NextBelow(K)), an α_k alias otherwise.
+  if (!cfg_.asymmetric_alpha.empty()) {
+    for (uint32_t k = 0; k < k_topics; ++k) {
+      weights[k] = static_cast<float>(cfg_.AlphaOf(k));
+    }
+    alpha_alias_.Build(weights);
+  }
+
+  // φ-sparse branch of the word proposal: per-word alias cells over
+  // φ_kv·inv_denom[k], packed into two flat arrays sharing the CSC column
+  // layout. Serving never mutates φ, so — unlike the trainer's stale-table
+  // construction — these proposals are exact for the engine's lifetime.
+  mh_word_mass_.assign(v_words, 0.0);
+  mh_prob_.resize(col_topic_.size());
+  mh_alias_.resize(col_topic_.size());
+  AliasBuildScratch scratch;
+  std::vector<float> col_w;
+  for (uint32_t v = 0; v < v_words; ++v) {
+    const uint64_t begin = col_ptr_[v];
+    const uint64_t len = col_ptr_[v + 1] - begin;
+    if (len == 0) continue;  // all-zero column: the β branch covers it
+    col_w.resize(len);
+    for (uint64_t j = 0; j < len; ++j) {
+      const uint32_t k = col_topic_[begin + j];
+      col_w[j] = static_cast<float>(static_cast<double>(model_->phi(k, v)) *
+                                    inv_denom_[k]);
+    }
+    mh_word_mass_[v] = BuildAliasInto(
+        col_w, std::span<float>(mh_prob_.data() + begin, len),
+        std::span<uint16_t>(mh_alias_.data() + begin, len), scratch);
   }
 }
 
@@ -121,7 +206,10 @@ inline void DecCount(std::vector<int32_t>& count, std::vector<uint32_t>& nz,
 
 void InferenceEngine::BucketMasses(uint32_t word, const Scratch& s,
                                    double* q, double* w) const {
-  if (options_.sampler == InferSampler::kSparseBucket) {
+  if (options_.sampler != InferSampler::kDenseReference) {
+    // Sparse bucket mode — and kAliasMH scoring, which uses the same exact
+    // masses (MH changes how assignments are *sampled*, not how they are
+    // scored).
     double acc = 0;
     for (const uint32_t k : s.nz) {
       acc += DocTerm(k, s.count[k], model_->phi(k, word));
@@ -130,14 +218,28 @@ void InferenceEngine::BucketMasses(uint32_t word, const Scratch& s,
     *w = word_mass_[word];
     return;
   }
-  // Dense reference: one full pass down the φ column, both masses at once.
+  // Dense reference: one full pass down the contiguous φ-transpose column,
+  // both masses at once. Q and W accumulate separately, each in ascending-k
+  // order over exactly the terms the scalar loop added, so skipping the
+  // zero runs of either cursor cannot change a bit.
   double q_acc = 0, w_acc = 0;
-  const uint32_t k_topics = model_->num_topics;
-  for (uint32_t k = 0; k < k_topics; ++k) {
-    const uint16_t f = model_->phi(k, word);
-    const int32_t c = s.count[k];
-    if (c != 0) q_acc += DocTerm(k, c, f);
-    if (f != 0) w_acc += WordTerm(k, f);
+  const size_t k_topics = model_->num_topics;
+  const uint16_t* col = phi_t_.data() + static_cast<size_t>(word) * k_topics;
+  const int32_t* cnt = s.count.data();
+  size_t kc = simd::NextNonZeroI32(cnt, k_topics, 0);
+  size_t kf = simd::NextNonZeroU16(col, k_topics, 0);
+  while (kc < k_topics || kf < k_topics) {
+    if (kc <= kf) {
+      q_acc += DocTerm(static_cast<uint32_t>(kc), cnt[kc], col[kc]);
+      if (kc == kf) {
+        w_acc += WordTerm(static_cast<uint32_t>(kf), col[kf]);
+        kf = simd::NextNonZeroU16(col, k_topics, kf + 1);
+      }
+      kc = simd::NextNonZeroI32(cnt, k_topics, kc + 1);
+    } else {
+      w_acc += WordTerm(static_cast<uint32_t>(kf), col[kf]);
+      kf = simd::NextNonZeroU16(col, k_topics, kf + 1);
+    }
   }
   *q = q_acc;
   *w = w_acc;
@@ -145,7 +247,7 @@ void InferenceEngine::BucketMasses(uint32_t word, const Scratch& s,
 
 uint32_t InferenceEngine::SampleTopic(uint32_t word, double q, double w,
                                       double u, const Scratch& s) const {
-  const bool sparse = options_.sampler == InferSampler::kSparseBucket;
+  const bool sparse = options_.sampler != InferSampler::kDenseReference;
   if (u < q) {
     // Doc bucket: rescan the same DocTerm sequence until the running prefix
     // exceeds u. The final prefix equals q exactly (same terms, same
@@ -159,13 +261,16 @@ uint32_t InferenceEngine::SampleTopic(uint32_t word, double q, double w,
       }
       return s.nz.back();
     }
+    const size_t k_topics = model_->num_topics;
+    const uint16_t* col =
+        phi_t_.data() + static_cast<size_t>(word) * k_topics;
+    const int32_t* cnt = s.count.data();
     uint32_t last = 0;
-    for (uint32_t k = 0; k < model_->num_topics; ++k) {
-      const int32_t c = s.count[k];
-      if (c == 0) continue;
-      acc += DocTerm(k, c, model_->phi(k, word));
-      if (acc > u) return k;
-      last = k;
+    for (size_t k = simd::NextNonZeroI32(cnt, k_topics, 0); k < k_topics;
+         k = simd::NextNonZeroI32(cnt, k_topics, k + 1)) {
+      acc += DocTerm(static_cast<uint32_t>(k), cnt[k], col[k]);
+      if (acc > u) return static_cast<uint32_t>(k);
+      last = static_cast<uint32_t>(k);
     }
     return last;
   }
@@ -183,14 +288,16 @@ uint32_t InferenceEngine::SampleTopic(uint32_t word, double q, double w,
           prefix.begin());
       return col_topic_[begin + std::min(j, static_cast<size_t>(len - 1))];
     }
+    const size_t k_topics = model_->num_topics;
+    const uint16_t* col =
+        phi_t_.data() + static_cast<size_t>(word) * k_topics;
     double acc = 0;
     uint32_t last = 0;
-    for (uint32_t k = 0; k < model_->num_topics; ++k) {
-      const uint16_t f = model_->phi(k, word);
-      if (f == 0) continue;
-      acc += WordTerm(k, f);
-      if (acc > uw) return k;
-      last = k;
+    for (size_t k = simd::NextNonZeroU16(col, k_topics, 0); k < k_topics;
+         k = simd::NextNonZeroU16(col, k_topics, k + 1)) {
+      acc += WordTerm(static_cast<uint32_t>(k), col[k]);
+      if (acc > uw) return static_cast<uint32_t>(k);
+      last = static_cast<uint32_t>(k);
     }
     return last;
   }
@@ -215,16 +322,38 @@ void InferenceEngine::FoldIn(std::span<const uint32_t> words,
   if (words.empty()) return;
 
   // One counter-advanced stream per document (stream id 0 of `seed`):
-  // len NextBelow draws for the init, then one NextDouble per token per
-  // sweep. Pinned by Inference.PinnedSamplingSequence.
+  // len NextBelow draws for the init, then the per-token sweep draws
+  // (exact modes: one NextDouble; kAliasMH: the proposal-pair sequence).
+  // Pinned by Inference.PinnedSamplingSequence.
   PhiloxStream rng(seed, 0);
   s.z.resize(words.size());
+
+  if (options_.sampler == InferSampler::kAliasMH) {
+    // The MH path keeps only the dense counts hot during sweeps, logging
+    // first-touches instead of maintaining the sorted nz list per token;
+    // the list is compacted once here at the end for the result/scoring
+    // contract (nz ascending, counts positive).
+    s.touched.clear();
+    for (size_t i = 0; i < words.size(); ++i) {
+      const uint32_t k = rng.NextBelow(model_->num_topics);
+      s.z[i] = static_cast<uint16_t>(k);
+      if (s.count[k]++ == 0) s.touched.push_back(k);
+    }
+    FoldInMh(words, iterations, rng, s);
+    std::sort(s.touched.begin(), s.touched.end());
+    for (const uint32_t k : s.touched) {
+      if (s.count[k] > 0 && (s.nz.empty() || s.nz.back() != k)) {
+        s.nz.push_back(k);
+      }
+    }
+    return;
+  }
+
   for (size_t i = 0; i < words.size(); ++i) {
     const uint32_t k = rng.NextBelow(model_->num_topics);
     s.z[i] = static_cast<uint16_t>(k);
     IncCount(s.count, s.nz, k);
   }
-
   for (uint32_t it = 1; it <= iterations; ++it) {
     for (size_t i = 0; i < words.size(); ++i) {
       const uint32_t v = words[i];
@@ -235,6 +364,110 @@ void InferenceEngine::FoldIn(std::span<const uint32_t> words,
       const uint32_t k = SampleTopic(v, q, w, u, s);
       s.z[i] = static_cast<uint16_t>(k);
       IncCount(s.count, s.nz, k);
+    }
+  }
+}
+
+void InferenceEngine::FoldInMh(std::span<const uint32_t> words,
+                               uint32_t iterations, PhiloxStream& rng,
+                               Scratch& s) const {
+  const uint32_t k_topics = model_->num_topics;
+  const size_t len = words.size();
+  // Doc-proposal mixture mass: the len−1 *other* tokens plus the α prior.
+  // With the current token excluded the token branch is never taken for a
+  // one-token document (len1 == 0 and pick ≥ 0), so the prior branch covers
+  // it — no special case.
+  const double len1 = static_cast<double>(len - 1);
+  const bool asym = !cfg_.asymmetric_alpha.empty();
+  const double beta = cfg_.beta;
+  // Symmetric prior hoisted out of the acceptance ratio (AlphaOf divides).
+  const double* alpha_vec = asym ? cfg_.asymmetric_alpha.data() : nullptr;
+  const double alpha_sym = asym ? 0.0 : cfg_.EffectiveAlpha();
+  const auto alpha_at = [&](uint32_t k) {
+    return alpha_vec != nullptr ? alpha_vec[k] : alpha_sym;
+  };
+
+  for (uint32_t it = 1; it <= iterations; ++it) {
+    for (size_t i = 0; i < len; ++i) {
+      const uint32_t v = words[i];
+      uint32_t cur = s.z[i];
+      --s.count[cur];  // token i excluded for the whole proposal chain
+
+      const uint64_t begin = col_ptr_[v];
+      const uint64_t clen = col_ptr_[v + 1] - begin;
+      const std::span<const float> cprob(mh_prob_.data() + begin, clen);
+      const std::span<const uint16_t> calias(mh_alias_.data() + begin, clen);
+      const double mv = mh_word_mass_[v];
+      const double wmass = mv + beta_mass_;
+      // Word-likelihood term of the current topic, kept across the proposal
+      // chain so a rejected proposal costs one φ lookup, not two. Coins and
+      // mixture picks are 24-bit floats (coins drawn lazily — prop == cur
+      // is a no-op either way); like NextBelow's 2^-32 mapping bias, the
+      // 2^-24 granularity is far below sampling noise.
+      double cur_term =
+          (static_cast<double>(model_->phi(cur, v)) + beta) * inv_denom_[cur];
+
+      for (uint32_t cycle = 0; cycle < options_.mh_cycles; ++cycle) {
+        // Doc proposal q_d(k) ∝ n_dk^{¬i} + α_k: pick another token's
+        // current topic (counts branch) or draw from the prior. Acceptance
+        // keeps only the word-likelihood factor — the doc factor cancels
+        // against the proposal.
+        {
+          uint32_t prop;
+          const double pick =
+              static_cast<double>(rng.NextFloat()) * (len1 + alpha_sum_);
+          if (pick < len1) {
+            uint32_t j = rng.NextBelow(static_cast<uint32_t>(len - 1));
+            if (j >= i) ++j;  // uniform over the len−1 tokens ≠ i
+            prop = s.z[j];
+          } else if (asym) {
+            prop = alpha_alias_.Sample(rng.NextBelow(k_topics),
+                                       rng.NextFloat());
+          } else {
+            prop = rng.NextBelow(k_topics);
+          }
+          if (prop != cur) {
+            const double num =
+                (static_cast<double>(model_->phi(prop, v)) + beta) *
+                inv_denom_[prop];
+            if (static_cast<double>(rng.NextFloat()) * cur_term < num) {
+              cur = prop;
+              cur_term = num;
+            }
+          }
+        }
+        // Word proposal q_w(k) ∝ (φ_kv + β)·inv_denom[k]: φ-sparse alias
+        // column or the shared β-smoothing alias. Acceptance keeps only the
+        // doc factor n^{¬i} + α.
+        {
+          uint32_t prop;
+          const double pick = static_cast<double>(rng.NextFloat()) * wmass;
+          if (pick < mv) {
+            prop = col_topic_[begin + SampleAlias(cprob, calias,
+                                                  rng.NextBelow(
+                                                      static_cast<uint32_t>(
+                                                          clen)),
+                                                  rng.NextFloat())];
+          } else {
+            prop = beta_alias_.Sample(rng.NextBelow(k_topics),
+                                      rng.NextFloat());
+          }
+          if (prop != cur) {
+            const double num =
+                static_cast<double>(s.count[prop]) + alpha_at(prop);
+            const double den =
+                static_cast<double>(s.count[cur]) + alpha_at(cur);
+            if (static_cast<double>(rng.NextFloat()) * den < num) {
+              cur = prop;
+              cur_term = (static_cast<double>(model_->phi(cur, v)) + beta) *
+                         inv_denom_[cur];
+            }
+          }
+        }
+      }
+
+      s.z[i] = static_cast<uint16_t>(cur);
+      if (s.count[cur]++ == 0) s.touched.push_back(cur);
     }
   }
 }

@@ -24,18 +24,32 @@
 // bucket (Q first, then W, then S) and the topic within it by
 // minimal-prefix-exceeding-u search.
 //
-// Both sampler modes implement this same specification with identical
-// double-precision term order, so their topic assignments — and therefore
-// perplexities — are bit-identical; they differ only in per-token cost:
-// kDenseReference recomputes the Q and W masses by a full O(K) scan of the
-// φ column, kSparseBucket reads the cached column mass and walks only the
-// document's nonzero topics.
+// The two exact sampler modes implement this same specification with
+// identical double-precision term order, so their topic assignments — and
+// therefore perplexities — are bit-identical; they differ only in per-token
+// cost: kDenseReference recomputes the Q and W masses by a full O(K) scan
+// of the φ column, kSparseBucket reads the cached column mass and walks only
+// the document's nonzero topics.
+//
+// The third mode, kAliasMH, is the production O(1)-per-token tier
+// (docs/samplers.md): WarpLDA-class Metropolis–Hastings whose stationary
+// distribution is exactly the conditional above. Because φ is frozen in
+// serving, its proposal tables are exact (no staleness): a per-word alias
+// over the φ column's (φ_kv + β)-proportional mixture plus a shared
+// smoothing alias, and a doc proposal drawn from the live n_dk + α_k mixture
+// by picking another token's topic. Both acceptance ratios collapse to two
+// O(1) factor lookups. Its assignments are *statistically* — not bitwise —
+// equivalent to the exact modes; conformance is certified by the chi-square
+// GoF harness and the held-out convergence-parity check
+// (validate/conformance.hpp, tests/test_sampler_tier.cpp).
 //
 // RNG contract: each document consumes exactly one PhiloxStream — stream id
 // 0 of its seed — advanced in token order: len(doc) NextBelow(K) draws for
-// the random init, then one NextDouble per token per sweep. This replaces
-// the per-token stream reconstruction of the original engine and is pinned
-// by Inference.PinnedSamplingSequence in tests/test_inference.cpp.
+// the random init, then one NextDouble per token per sweep (kAliasMH: a
+// fixed sequence of draws per proposal pair instead of the single
+// NextDouble). This replaces the per-token stream reconstruction of the
+// original engine and is pinned by Inference.PinnedSamplingSequence in
+// tests/test_inference.cpp.
 #pragma once
 
 #include <cstdint>
@@ -45,8 +59,10 @@
 #include "core/config.hpp"
 #include "core/index_tree.hpp"
 #include "core/model.hpp"
+#include "core/sampler/alias_table.hpp"
 #include "core/topics.hpp"
 #include "corpus/corpus.hpp"
+#include "util/philox.hpp"
 #include "util/thread_pool.hpp"
 
 namespace culda::core {
@@ -58,17 +74,26 @@ struct InferenceResult {
   uint64_t tokens = 0;                   ///< in-vocabulary tokens used
 };
 
-/// Which per-token evaluation strategy the engine uses. Both produce
-/// bit-identical assignments (see the header comment); kDenseReference
-/// exists as the O(K)-per-token validation baseline and the bench's
-/// "before" measurement.
+/// Which per-token evaluation strategy the engine uses. The two exact modes
+/// produce bit-identical assignments (see the header comment);
+/// kDenseReference exists as the O(K)-per-token validation baseline and the
+/// bench's "before" measurement. kAliasMH trades bit-equality for O(1)
+/// per-token cost and is certified statistically (docs/samplers.md).
 enum class InferSampler {
   kSparseBucket,     ///< O(nnz(θ_d)) per token via cached column masses
   kDenseReference,   ///< O(K) per token, full φ-column scan
+  kAliasMH,          ///< O(1) per token, alias-table Metropolis–Hastings
 };
 
 struct InferenceOptions {
   InferSampler sampler = InferSampler::kSparseBucket;
+  /// kAliasMH only: Metropolis–Hastings proposal pairs (one doc proposal +
+  /// one word proposal) per token per sweep. One pair per sweep (the
+  /// WarpLDA convention) keeps held-out perplexity within the parity
+  /// tolerance of the exact samplers at equal sweep counts
+  /// (bench_sampler_tier gates this); more pairs buy extra mixing at
+  /// proportional cost.
+  uint32_t mh_cycles = 1;
   /// Pool for InferBatch / DocumentCompletionPerplexity document fan-out
   /// (nullptr = sequential). Results are bit-identical at any worker count:
   /// documents are independent (one Philox stream each) and reductions run
@@ -133,11 +158,15 @@ class InferenceEngine {
  private:
   /// Reusable per-worker state: the document's dense topic counts, its
   /// sorted nonzero-topic list, and the assignment vector. Reset costs
-  /// O(nnz) — only previously touched counts are zeroed.
+  /// O(nnz) — only previously touched counts are zeroed. The MH path
+  /// appends to `touched` instead of maintaining `nz` sorted per token
+  /// (sorted inserts are O(nnz) memmoves — a real cost at MH's per-token
+  /// budget) and compacts `touched` into `nz` once at the end of FoldIn.
   struct Scratch {
-    std::vector<int32_t> count;   ///< dense, length K (lazily sized)
-    std::vector<uint32_t> nz;     ///< nonzero topics, ascending
-    std::vector<uint16_t> z;      ///< per-token assignment
+    std::vector<int32_t> count;    ///< dense, length K (lazily sized)
+    std::vector<uint32_t> nz;      ///< nonzero topics, ascending
+    std::vector<uint16_t> z;       ///< per-token assignment
+    std::vector<uint32_t> touched; ///< MH only: topics ever incremented
   };
 
   // Shared term definitions — the bucket masses and their in-bucket
@@ -153,11 +182,16 @@ class InferenceEngine {
 
   void BuildSmoothingTree();
   void BuildWordColumns();
+  void BuildAliasTables();
 
   /// Runs the fold-in sweeps for one document into `s` (counts, nz list,
   /// assignments). `words` must all be in-vocabulary (checked).
   void FoldIn(std::span<const uint32_t> words, uint32_t iterations,
               uint64_t seed, Scratch& s) const;
+  /// The kAliasMH fold-in body (same contract as the exact body above;
+  /// called by FoldIn after the shared init).
+  void FoldInMh(std::span<const uint32_t> words, uint32_t iterations,
+                PhiloxStream& rng, Scratch& s) const;
   /// One conditional draw: picks the bucket from `u` ∈ [0, q+w+S) and the
   /// topic within it. `q`/`w` must be this token's bucket masses.
   uint32_t SampleTopic(uint32_t word, double q, double w, double u,
@@ -189,6 +223,27 @@ class InferenceEngine {
   std::vector<uint16_t> col_topic_;
   std::vector<double> col_prefix_;
   std::vector<double> word_mass_;
+
+  // kAliasMH proposal state. Word proposals draw from the per-word mixture
+  //   q_w(k) ∝ (φ_kv + β)·inv_denom[k]
+  // split into a φ-sparse part — packed alias cells over each word's CSC
+  // column, sharing the col_ptr_/col_topic_ layout — and the shared
+  // β-smoothing part (beta_alias_ over inv_denom). Doc proposals draw from
+  // n_dk + α_k by picking another token's topic or falling through to the
+  // α prior (alpha_alias_ in the asymmetric case; uniform otherwise, since
+  // a constant-weight alias is just a uniform pick).
+  double alpha_sum_ = 0;              ///< Σ_k α_k
+  double beta_mass_ = 0;              ///< β·Σ_k inv_denom[k]
+  std::vector<double> mh_word_mass_;  ///< Σ_k φ_kv·inv_denom[k] per word
+  std::vector<float> mh_prob_;        ///< packed column alias cells
+  std::vector<uint16_t> mh_alias_;
+  AliasTable beta_alias_;   ///< over inv_denom (smoothing branch)
+  AliasTable alpha_alias_;  ///< over α_k (asymmetric priors only)
+
+  // kDenseReference only: contiguous transpose of φ (phi_t_[v·K + k]) so
+  // the O(K) column scans run over adjacent memory and the SIMD zero-run
+  // skip applies. Same values read in the same order — bit-identical.
+  std::vector<uint16_t> phi_t_;
 };
 
 }  // namespace culda::core

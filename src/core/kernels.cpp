@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/index_tree.hpp"
+#include "core/sampler/alias_table.hpp"
 #include "util/philox.hpp"
 
 namespace culda::core {
@@ -61,16 +62,272 @@ TreePlacement PlaceTree(gpusim::BlockContext& ctx, std::vector<float>& spill,
   return {std::span<float>(spill.data(), slots), false};
 }
 
+/// Per-worker scratch for the alias/MH sampling kernel: the per-block word
+/// alias over p*(k) and its build workspace.
+struct MhSamplerScratch {
+  std::vector<float> pstar;
+  std::vector<float> word_prob;
+  std::vector<uint16_t> word_alias;
+  AliasBuildScratch build;
+};
+thread_local MhSamplerScratch tl_mh_scratch;
+
+/// Stale θ̃_d count of topic k, by binary search of the sorted CSR row.
+inline int32_t ThetaAt(std::span<const uint16_t> idx,
+                       std::span<const int32_t> val, uint32_t k) {
+  const auto it = std::lower_bound(idx.begin(), idx.end(),
+                                   static_cast<uint16_t>(k));
+  if (it == idx.end() || *it != k) return 0;
+  return val[static_cast<size_t>(it - idx.begin())];
+}
+
+/// The kAliasMH sampling kernel (docs/samplers.md). Same launch geometry,
+/// RNG keying, and billed-step attribution as the exact kernel; per token it
+/// runs `mh_cycles` doc/word proposal pairs against the stale counts instead
+/// of the S/Q tree draw. Both proposal families read only iteration-start
+/// state (θ̃ rows, φ̃ columns, ñ_k), so assignments are bit-deterministic
+/// under any chunk schedule, worker count, or GPU count — the same
+/// partition-invariance contract the exact kernel gets from its
+/// (seed, iteration, global token) stream keying.
+gpusim::KernelRecord RunMhSamplingKernel(gpusim::Device& device,
+                                         const CuldaConfig& cfg,
+                                         ChunkState& chunk,
+                                         const PhiReplica& replica,
+                                         uint32_t iteration,
+                                         gpusim::Stream* stream,
+                                         SamplingStepCounters* steps,
+                                         uint32_t mh_cycles) {
+  const uint32_t K = cfg.num_topics;
+  const uint32_t V = replica.vocab_size;
+  const float beta = static_cast<float>(cfg.beta);
+  const float beta_v = beta * static_cast<float>(V);
+  const double alpha_sum = cfg.AlphaSum();
+  const bool asym = !cfg.asymmetric_alpha.empty();
+  const uint64_t phi_b = cfg.phi_count_bytes();
+  const uint64_t idx_b = cfg.theta_index_bytes();
+  CULDA_CHECK_MSG(mh_cycles >= 1,
+                  "kAliasMH needs at least one MH cycle per token");
+
+  if (chunk.work.empty()) {
+    gpusim::KernelRecord rec;
+    rec.name = "sampling";
+    return rec;
+  }
+
+  // ---- Host-side pre-launch: per-document alias tables over the stale θ̃
+  // rows, packed flat in the θ CSR layout. Row content depends only on the
+  // document's own assignments — never on the chunking — which is what makes
+  // the doc proposals partition-invariant. Rebuilt every iteration from the
+  // fresh θ (the per-sweep stale-table refresh); billed below in block 0.
+  const uint64_t num_docs = chunk.num_docs();
+  std::vector<uint64_t> doc_off(num_docs + 1, 0);
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    doc_off[d + 1] = doc_off[d] + chunk.theta.RowLength(d);
+  }
+  std::vector<float> doc_prob(doc_off[num_docs]);
+  std::vector<uint16_t> doc_alias(doc_off[num_docs]);
+  std::vector<double> doc_len(num_docs, 0.0);
+  {
+    AliasBuildScratch build;
+    std::vector<float> weights;
+    for (uint64_t d = 0; d < num_docs; ++d) {
+      const auto val = chunk.theta.RowValues(d);
+      if (val.empty()) continue;  // α branch covers empty rows
+      weights.resize(val.size());
+      for (size_t j = 0; j < val.size(); ++j) {
+        weights[j] = static_cast<float>(val[j]);
+      }
+      doc_len[d] = BuildAliasInto(
+          weights,
+          std::span<float>(doc_prob.data() + doc_off[d], val.size()),
+          std::span<uint16_t>(doc_alias.data() + doc_off[d], val.size()),
+          build);
+    }
+  }
+
+  // α-prior alias for the asymmetric doc-proposal branch (symmetric is a
+  // uniform pick — a constant-weight alias adds nothing).
+  AliasTable alpha_alias;
+  if (asym) {
+    std::vector<float> weights(K);
+    for (uint32_t k = 0; k < K; ++k) {
+      weights[k] = static_cast<float>(cfg.AlphaOf(k));
+    }
+    alpha_alias.Build(weights);
+  }
+
+  std::mutex steps_mutex;
+  const gpusim::LaunchConfig lc{static_cast<uint32_t>(chunk.work.size()),
+                                cfg.samplers_per_block * gpusim::kWarpSize,
+                                kSamplingMemDerate};
+
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const corpus::BlockWork& bw = chunk.work[ctx.block_id()];
+    const uint32_t w = bw.word;
+    MhSamplerScratch& scratch = tl_mh_scratch;
+    SamplingStepCounters local;
+
+    if (ctx.block_id() == 0) {
+      // Bill the host-side doc-alias rebuild: read every θ̃ value, write
+      // every (prob, alias) cell. Attributed to the doc-proposal step.
+      local.sample_p1.global_read_bytes += doc_off[num_docs] * 4;
+      local.sample_p1.global_write_bytes += doc_off[num_docs] * 6;
+      local.sample_p1.flops += 3 * doc_off[num_docs];
+    }
+
+    // ---- p*(k) = (φ_kv + β) / (n_k + βV): same per-block column pass as
+    // the exact kernel (and the same compute_q attribution)...
+    if (scratch.pstar.size() < K) scratch.pstar.resize(K);
+    std::span<float> pstar(scratch.pstar.data(), K);
+    for (uint32_t k = 0; k < K; ++k) {
+      pstar[k] = (static_cast<float>(replica.phi(k, w)) + beta) /
+                 (static_cast<float>(replica.nk[k]) + beta_v);
+    }
+    local.compute_q.global_read_bytes += static_cast<uint64_t>(K) * phi_b;
+    local.compute_q.l1_read_bytes += static_cast<uint64_t>(K) * 4;
+    local.compute_q.flops += 2ull * K;
+
+    // ...feeding the block's word-proposal alias over p* instead of the p2
+    // index tree. The +β inside p* is the smoothing branch, so one table
+    // covers the whole word conditional. Placed in shared memory when it
+    // fits (alias cells are 6 bytes/topic vs the tree's 4·slots).
+    if (scratch.word_prob.size() < K) scratch.word_prob.resize(K);
+    if (scratch.word_alias.size() < K) scratch.word_alias.resize(K);
+    std::span<float> wprob(scratch.word_prob.data(), K);
+    std::span<uint16_t> walias(scratch.word_alias.data(), K);
+    const double word_total = BuildAliasInto(pstar, wprob, walias,
+                                             scratch.build);
+    (void)word_total;  // proposal draws never need the normalizer
+    const uint64_t alias_bytes = static_cast<uint64_t>(K) * 6;
+    bool alias_in_shared = false;
+    if (ctx.shared().capacity() - ctx.shared().used() >= alias_bytes) {
+      (void)ctx.shared().Alloc<float>(K);
+      (void)ctx.shared().Alloc<uint16_t>(K);
+      alias_in_shared = true;
+      local.sample_p2.shared_write_bytes += alias_bytes;
+    } else {
+      local.sample_p2.global_write_bytes += alias_bytes;
+    }
+    local.sample_p2.flops += 2ull * K;  // the O(K) small/large pairing
+
+    for (uint64_t t = bw.token_begin; t < bw.token_end; ++t) {
+      const uint32_t local_doc = chunk.layout.token_doc[t];
+      ctx.ReadGlobal(8);  // token_doc + token_global (RNG key)
+
+      const auto theta_idx = chunk.theta.RowIndices(local_doc);
+      const auto theta_val = chunk.theta.RowValues(local_doc);
+      const uint64_t kd = theta_idx.size();
+      const uint64_t off = doc_off[local_doc];
+      const std::span<const float> dprob(doc_prob.data() + off, kd);
+      const std::span<const uint16_t> dalias(doc_alias.data() + off, kd);
+      const double dlen = doc_len[local_doc];
+
+      PhiloxStream rng(cfg.seed,
+                       (static_cast<uint64_t>(iteration) << 40) ^
+                           chunk.layout.token_global[t]);
+      uint32_t cur = chunk.z[t];
+      ctx.ReadGlobal(2);
+
+      for (uint32_t cycle = 0; cycle < mh_cycles; ++cycle) {
+        // Doc proposal q_d(k) ∝ θ̃_dk + α_k. The θ̃ branch reads one alias
+        // cell + one row index; acceptance keeps only the word factor
+        // p*(prop)/p*(cur) — the doc factor cancels against the proposal.
+        {
+          uint32_t prop;
+          const double pick = rng.NextDouble() * (dlen + alpha_sum);
+          if (pick < dlen) {
+            const uint16_t j =
+                SampleAlias(dprob, dalias,
+                            rng.NextBelow(static_cast<uint32_t>(kd)),
+                            rng.NextFloat());
+            prop = theta_idx[j];
+            local.sample_p1.global_read_bytes += 6 + idx_b;
+          } else if (asym) {
+            prop = alpha_alias.Sample(rng.NextBelow(K), rng.NextFloat());
+            local.sample_p1.global_read_bytes += 6;
+          } else {
+            prop = rng.NextBelow(K);
+          }
+          const float coin = rng.NextFloat();
+          ++local.mh_proposals;
+          local.sample_p1.flops += 4;
+          if (prop != cur && coin * pstar[cur] < pstar[prop]) {
+            cur = prop;
+            ++local.mh_accepts;
+          }
+        }
+        // Word proposal q_w(k) ∝ p*(k); acceptance keeps only the doc
+        // factor (θ̃ + α), read by binary search of the sorted stale row.
+        {
+          const uint32_t prop =
+              SampleAlias(wprob, walias, rng.NextBelow(K), rng.NextFloat());
+          if (alias_in_shared) {
+            local.sample_p2.shared_read_bytes += 6;
+          } else {
+            local.sample_p2.global_read_bytes += 6;
+          }
+          const float coin = rng.NextFloat();
+          ++local.mh_proposals;
+          local.sample_p2.flops += 4;
+          if (prop != cur) {
+            const uint64_t probes =
+                kd == 0 ? 1 : (64 - __builtin_clzll(kd)) + 1;
+            if (cfg.l1_for_indices) {
+              local.compute_s.l1_read_bytes += 2 * probes * idx_b;
+            } else {
+              local.compute_s.global_read_bytes += 2 * probes * idx_b;
+            }
+            local.compute_s.global_read_bytes += 2 * 4;
+            const double num =
+                static_cast<double>(ThetaAt(theta_idx, theta_val, prop)) +
+                cfg.AlphaOf(prop);
+            const double den =
+                static_cast<double>(ThetaAt(theta_idx, theta_val, cur)) +
+                cfg.AlphaOf(cur);
+            if (coin * den < num) {
+              cur = prop;
+              ++local.mh_accepts;
+            }
+          }
+        }
+      }
+
+      chunk.z[t] = static_cast<uint16_t>(cur);
+      ctx.WriteGlobal(2);
+      ++local.tokens;
+    }
+
+    // Merge the per-step tallies into the block's billed counters.
+    for (const gpusim::KernelCounters* c :
+         {&local.compute_s, &local.compute_q, &local.sample_p1,
+          &local.sample_p2}) {
+      ctx.counters().global_read_bytes += c->global_read_bytes;
+      ctx.counters().l1_read_bytes += c->l1_read_bytes;
+      ctx.counters().global_write_bytes += c->global_write_bytes;
+      ctx.counters().shared_read_bytes += c->shared_read_bytes;
+      ctx.counters().shared_write_bytes += c->shared_write_bytes;
+      ctx.counters().flops += c->flops;
+    }
+    if (steps != nullptr) {
+      std::lock_guard<std::mutex> lock(steps_mutex);
+      *steps += local;
+    }
+  };
+
+  return device.Launch("sampling", lc, body, stream);
+}
+
 }  // namespace
 
-gpusim::KernelRecord RunSamplingKernel(gpusim::Device& device,
-                                       const CuldaConfig& cfg,
-                                       ChunkState& chunk,
-                                       const PhiReplica& replica,
-                                       uint32_t iteration,
-                                       gpusim::Stream* stream,
-                                       SamplingStepCounters* steps) {
+gpusim::KernelRecord RunSamplingKernel(
+    gpusim::Device& device, const CuldaConfig& cfg, ChunkState& chunk,
+    const PhiReplica& replica, uint32_t iteration, gpusim::Stream* stream,
+    SamplingStepCounters* steps, TrainSampler sampler, uint32_t mh_cycles) {
   cfg.Validate();
+  if (sampler == TrainSampler::kAliasMH) {
+    return RunMhSamplingKernel(device, cfg, chunk, replica, iteration,
+                               stream, steps, mh_cycles);
+  }
   const uint32_t K = cfg.num_topics;
   const uint32_t V = replica.vocab_size;
   CULDA_CHECK(replica.num_topics == K);

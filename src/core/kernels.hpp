@@ -20,6 +20,7 @@
 
 #include "core/config.hpp"
 #include "core/model.hpp"
+#include "core/sampler/sampler.hpp"
 #include "gpusim/device.hpp"
 
 namespace culda::core {
@@ -34,6 +35,8 @@ struct SamplingStepCounters {
   uint64_t tokens = 0;
   uint64_t p1_branches = 0;  ///< tokens resolved from the sparse bucket
   uint64_t p1_tree_spills = 0;  ///< p1 trees that did not fit shared memory
+  uint64_t mh_proposals = 0;  ///< kAliasMH: proposal pairs evaluated
+  uint64_t mh_accepts = 0;    ///< kAliasMH: proposals accepted
 
   /// All-integer merge; the trainer reduces per-device partials with this in
   /// fixed device order after a parallel step, so totals are exact and
@@ -46,20 +49,27 @@ struct SamplingStepCounters {
     tokens += o.tokens;
     p1_branches += o.p1_branches;
     p1_tree_spills += o.p1_tree_spills;
+    mh_proposals += o.mh_proposals;
+    mh_accepts += o.mh_accepts;
     return *this;
   }
 };
 
 /// Runs the sampling kernel over one chunk: reads θ/φ/n_k of the previous
 /// iteration, writes a new topic into chunk.z for every token. Deterministic
-/// in (cfg.seed, iteration, global token index).
-gpusim::KernelRecord RunSamplingKernel(gpusim::Device& device,
-                                       const CuldaConfig& cfg,
-                                       ChunkState& chunk,
-                                       const PhiReplica& replica,
-                                       uint32_t iteration,
-                                       gpusim::Stream* stream = nullptr,
-                                       SamplingStepCounters* steps = nullptr);
+/// in (cfg.seed, iteration, global token index) under either sampler.
+///
+/// kTree is Algorithm 2's exact index-tree draw. kAliasMH draws the same
+/// stale per-iteration conditional p̃(k) ∝ (θ̃_dk + α_k)·(φ̃_kv + β)/(ñ_k + βV)
+/// through `mh_cycles` WarpLDA-style proposal pairs per token: a doc
+/// proposal from a per-document alias over the stale θ̃ row (row content is
+/// partition-invariant, so determinism holds at any GPU/chunk count) and a
+/// word proposal from a per-block alias over p*(k). See docs/samplers.md.
+gpusim::KernelRecord RunSamplingKernel(
+    gpusim::Device& device, const CuldaConfig& cfg, ChunkState& chunk,
+    const PhiReplica& replica, uint32_t iteration,
+    gpusim::Stream* stream = nullptr, SamplingStepCounters* steps = nullptr,
+    TrainSampler sampler = TrainSampler::kTree, uint32_t mh_cycles = 1);
 
 /// Zeroes the φ replica (counts and totals).
 gpusim::KernelRecord RunZeroPhiKernel(gpusim::Device& device,

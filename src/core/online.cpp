@@ -23,6 +23,12 @@ const InferenceEngine& OnlineTrainer::ServingEngine() {
     served_model_ = std::make_unique<GatheredModel>(trainer_->Gather());
     InferenceOptions options;
     options.pool = opts_.pool;
+    // The trainer's sampler tier carries over to serving: an alias/MH
+    // trainer serves through the alias/MH fold-in (serving's own mh_cycles
+    // default; its chain mixes over the fold-in sweeps).
+    if (opts_.sampler == TrainSampler::kAliasMH) {
+      options.sampler = InferSampler::kAliasMH;
+    }
     serving_engine_ =
         std::make_unique<InferenceEngine>(*served_model_, cfg_, options);
   }

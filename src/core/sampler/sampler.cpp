@@ -1,0 +1,47 @@
+#include "core/sampler/sampler.hpp"
+
+#include "util/check.hpp"
+
+namespace culda::core {
+
+std::string_view TrainSamplerName(TrainSampler sampler) {
+  switch (sampler) {
+    case TrainSampler::kTree:
+      return "tree";
+    case TrainSampler::kAliasMH:
+      return "alias-mh";
+  }
+  return "?";
+}
+
+std::string_view InferSamplerName(InferSampler sampler) {
+  switch (sampler) {
+    case InferSampler::kSparseBucket:
+      return "sparse";
+    case InferSampler::kDenseReference:
+      return "dense";
+    case InferSampler::kAliasMH:
+      return "alias-mh";
+  }
+  return "?";
+}
+
+TrainSampler ParseTrainSampler(std::string_view name) {
+  if (name == "tree") return TrainSampler::kTree;
+  if (name == "alias-mh") return TrainSampler::kAliasMH;
+  throw Error("--sampler must be one of: tree (exact index-tree kernel), "
+              "alias-mh (O(1) Metropolis-Hastings); got '" +
+              std::string(name) + "'");
+}
+
+InferSampler ParseInferSampler(std::string_view name) {
+  if (name == "sparse") return InferSampler::kSparseBucket;
+  if (name == "dense") return InferSampler::kDenseReference;
+  if (name == "alias-mh") return InferSampler::kAliasMH;
+  throw Error("--sampler must be one of: sparse (exact O(nnz) bucket), dense "
+              "(exact O(K) reference), alias-mh (O(1) Metropolis-Hastings); "
+              "got '" +
+              std::string(name) + "'");
+}
+
+}  // namespace culda::core

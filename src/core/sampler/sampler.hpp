@@ -1,0 +1,44 @@
+// Sampler-tier selection (docs/samplers.md).
+//
+// The repo ships two trainer samplers and three serving samplers:
+//
+//   trainer  tree      — the paper's exact sparsity-aware S/Q bucket kernel
+//                        (Algorithm 2, index trees); the default.
+//            alias-mh  — WarpLDA-class O(1) Metropolis–Hastings over the
+//                        same stale (iteration t−1) model the tree kernel
+//                        reads: per-word alias proposals + per-doc alias
+//                        proposals, accepted against the exact stale
+//                        conditional.
+//   serving  sparse    — O(nnz(θ_d)) exact bucket sampler (default)
+//            dense     — O(K) exact reference, bit-identical to sparse
+//            alias-mh  — O(1) MH against the frozen φ (exact proposals, no
+//                        staleness), statistically certified.
+//
+// This header owns the trainer-side enum and the strict CLI parsing both
+// tools share: unknown values produce a descriptive error naming every
+// accepted spelling (the PR 5 CLI-hardening contract).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/inference.hpp"
+
+namespace culda::core {
+
+/// Which sampling kernel CuldaTrainer runs (TrainerOptions::sampler).
+enum class TrainSampler {
+  kTree,     ///< exact S/Q bucket + index-tree kernel (the paper's)
+  kAliasMH,  ///< stale alias-table Metropolis–Hastings kernel
+};
+
+/// Canonical CLI spelling of each mode.
+std::string_view TrainSamplerName(TrainSampler sampler);
+std::string_view InferSamplerName(InferSampler sampler);
+
+/// Strict parsers: exact match on the canonical spellings, otherwise they
+/// throw culda::Error naming the offending value and every accepted one.
+TrainSampler ParseTrainSampler(std::string_view name);
+InferSampler ParseInferSampler(std::string_view name);
+
+}  // namespace culda::core

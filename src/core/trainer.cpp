@@ -285,7 +285,8 @@ void CuldaTrainer::StepWs1(IterationStats& stats) {
 
     const auto sampling = RunSamplingKernel(
         dev, cfg_, chunk, replicas_[g], iteration_ + 1, &compute,
-        opts_.collect_step_counters ? &part.steps : nullptr);
+        opts_.collect_step_counters ? &part.steps : nullptr, opts_.sampler,
+        opts_.mh_cycles);
     part.sampling_s += sampling.time.total_s;
 
     // φ first, so its sync can start while θ updates (Section 6.2). New
@@ -342,7 +343,8 @@ void CuldaTrainer::StepWs2(IterationStats& stats) {
 
       const auto sampling = RunSamplingKernel(
           dev, cfg_, chunk, replicas_[g], iteration_ + 1, &compute,
-          opts_.collect_step_counters ? &part.steps : nullptr);
+          opts_.collect_step_counters ? &part.steps : nullptr, opts_.sampler,
+          opts_.mh_cycles);
       part.sampling_s += sampling.time.total_s;
       part.update_phi_s +=
           RunUpdatePhiKernel(dev, cfg_, chunk, accum_[g], &compute)

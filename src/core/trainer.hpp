@@ -38,6 +38,14 @@ struct TrainerOptions {
   /// memory capacity (Section 5.1).
   uint32_t chunks_per_gpu = 0;
   SyncMode sync_mode = SyncMode::kGpuTree;
+  /// Per-token sampling strategy: the exact index-tree kernel (Algorithm 2)
+  /// or the O(1) alias/MH tier (docs/samplers.md). Both are deterministic in
+  /// (seed, iteration, global token) at any GPU/chunk/worker count; kAliasMH
+  /// is statistically — not bitwise — equivalent and is certified by the
+  /// count-marginal conformance and convergence-parity harnesses.
+  TrainSampler sampler = TrainSampler::kTree;
+  /// kAliasMH only: MH proposal pairs per token per iteration.
+  uint32_t mh_cycles = 1;
   /// WS2 only: overlap chunk transfers with compute via a second stream
   /// (off = the A5 ablation's serial variant).
   bool overlap_transfers = true;

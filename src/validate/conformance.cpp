@@ -165,6 +165,8 @@ void RunCountConformance(const corpus::Corpus& corpus,
   // CuLDA trainer: gathered-model invariants plus the z→counts rebuild.
   core::TrainerOptions topts;
   topts.gpus.assign(options.gpus, gpusim::V100Volta());
+  topts.sampler = options.sampler;
+  topts.mh_cycles = options.mh_cycles;
   core::CuldaTrainer trainer(corpus, cfg, topts);
   trainer.Train(options.iterations);
   const core::GatheredModel model = trainer.Gather();
@@ -223,20 +225,23 @@ ChiSquareResult TreeSamplingGof(std::span<const float> p, uint32_t fanout,
 ChiSquareResult BucketSamplerGof(const core::GatheredModel& model,
                                  const core::CuldaConfig& cfg,
                                  core::InferSampler sampler, uint32_t word,
-                                 uint64_t draws, uint64_t seed) {
+                                 uint64_t draws, uint64_t seed,
+                                 uint32_t sweeps) {
   CULDA_CHECK(word < model.vocab_size);
-  CULDA_CHECK(draws > 0);
+  CULDA_CHECK(draws > 0 && sweeps > 0);
   core::InferenceOptions opts;
   opts.sampler = sampler;
   const core::InferenceEngine engine(model, cfg, opts);
 
-  // One token, one sweep: the sweep's decrement empties the document bucket,
-  // so every draw is distributed exactly as the closed-form conditional
-  // p(k) ∝ α_k (φ_kv + β) / (n_k + βV) — see the header comment.
+  // One token per draw: with the token's own count decremented every draw
+  // is distributed exactly as the closed-form conditional
+  // p(k) ∝ α_k (φ_kv + β) / (n_k + βV) — see the header comment. The exact
+  // modes need one sweep; kAliasMH mixes over `sweeps`.
   const std::vector<uint32_t> doc = {word};
   std::vector<uint64_t> observed(cfg.num_topics, 0);
   for (uint64_t d = 0; d < draws; ++d) {
-    const core::InferenceResult r = engine.InferDocument(doc, 1, seed + d);
+    const core::InferenceResult r =
+        engine.InferDocument(doc, sweeps, seed + d);
     observed[r.assignments[0]] += 1;
   }
 

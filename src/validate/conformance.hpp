@@ -26,6 +26,7 @@
 #include "core/config.hpp"
 #include "core/inference.hpp"
 #include "core/model.hpp"
+#include "core/sampler/sampler.hpp"
 #include "corpus/corpus.hpp"
 #include "validate/chi_square.hpp"
 
@@ -34,6 +35,12 @@ namespace culda::validate {
 struct ConformanceOptions {
   uint32_t iterations = 3;  ///< training iterations per solver
   uint32_t gpus = 1;        ///< simulated GPUs for the CuldaTrainer run
+  /// Sampler tier for the CuldaTrainer run. The count-table checks are
+  /// sampler-independent (any correct sampler maintains exact counts), so
+  /// running the harness under kAliasMH certifies the MH kernel's
+  /// bookkeeping against the same bar as the exact kernel.
+  core::TrainSampler sampler = core::TrainSampler::kTree;
+  uint32_t mh_cycles = 1;  ///< kAliasMH only
 };
 
 /// Runs CuldaTrainer and the three CPU baselines on `corpus` under `cfg`
@@ -49,17 +56,23 @@ void RunCountConformance(const corpus::Corpus& corpus,
 ChiSquareResult TreeSamplingGof(std::span<const float> p, uint32_t fanout,
                                 uint64_t draws, uint64_t seed);
 
-/// Frequency-tests the serving engine's bucket-decomposed conditional.
-/// A single-token document of `word` is folded in for one sweep under
-/// `draws` distinct seeds; after the sweep's decrement the document bucket
-/// is empty, so the exact conditional is enumerable in closed form:
-/// p(k) ∝ α_k (φ_kv + β) / (n_k + βV). Returns the chi-square fit of the
-/// empirical assignment frequencies against it. Exercises the word-bucket
-/// prefix search and the smoothing-bucket IndexTreeView of the chosen
-/// sampler mode.
+/// Frequency-tests the serving engine's per-token conditional.
+/// A single-token document of `word` is folded in for `sweeps` sweeps under
+/// `draws` distinct seeds; with the token's own count decremented the
+/// document bucket is empty, so the exact conditional is enumerable in
+/// closed form: p(k) ∝ α_k (φ_kv + β) / (n_k + βV). Returns the chi-square
+/// fit of the empirical assignment frequencies against it.
+///
+/// For the exact modes one sweep samples the conditional directly (they
+/// exercise the word-bucket prefix search and the smoothing tree). For
+/// kAliasMH the single-token chain is homogeneous with the closed form as
+/// its stationary distribution, so `sweeps` controls mixing — pass a few
+/// (the word proposal is exact under a symmetric prior, so one proposal
+/// pair already mixes fully there).
 ChiSquareResult BucketSamplerGof(const core::GatheredModel& model,
                                  const core::CuldaConfig& cfg,
                                  core::InferSampler sampler, uint32_t word,
-                                 uint64_t draws, uint64_t seed);
+                                 uint64_t draws, uint64_t seed,
+                                 uint32_t sweeps = 1);
 
 }  // namespace culda::validate

@@ -151,6 +151,13 @@ core::GatheredModel TinyModel(uint32_t k_topics = 12, uint32_t vocab = 6) {
 class BucketSamplerConformance
     : public ::testing::TestWithParam<core::InferSampler> {};
 
+/// The exact modes sample the conditional in one sweep; the MH chain gets
+/// sweeps to mix (under a symmetric prior its word proposal is already
+/// exact, but the asymmetric test below needs the extra pairs).
+uint32_t SweepsFor(core::InferSampler sampler) {
+  return sampler == core::InferSampler::kAliasMH ? 30 : 1;
+}
+
 TEST_P(BucketSamplerConformance, MatchesExactConditional) {
   const auto model = TinyModel();
   core::CuldaConfig cfg;
@@ -158,7 +165,8 @@ TEST_P(BucketSamplerConformance, MatchesExactConditional) {
   uint64_t seed = 1000;
   for (const uint32_t word : {2u, 3u, 5u}) {
     const auto r = validate::BucketSamplerGof(model, cfg, GetParam(), word,
-                                              kDraws, seed);
+                                              kDraws, seed,
+                                              SweepsFor(GetParam()));
     seed += kDraws;
     EXPECT_GT(r.p_value, kAlpha)
         << "word " << word << ": X² = " << r.statistic << " at dof "
@@ -174,8 +182,9 @@ TEST_P(BucketSamplerConformance, MatchesExactConditionalAsymmetricAlpha) {
   for (uint32_t k = 0; k < cfg.num_topics; ++k) {
     cfg.asymmetric_alpha[k] = 0.5 + 2.0 * (k % 3);
   }
-  const auto r =
-      validate::BucketSamplerGof(model, cfg, GetParam(), 2, kDraws, 77777);
+  const auto r = validate::BucketSamplerGof(model, cfg, GetParam(), 2,
+                                            kDraws, 77777,
+                                            SweepsFor(GetParam()));
   EXPECT_GT(r.p_value, kAlpha)
       << "X² = " << r.statistic << " at dof " << r.dof;
 }
@@ -183,10 +192,15 @@ TEST_P(BucketSamplerConformance, MatchesExactConditionalAsymmetricAlpha) {
 INSTANTIATE_TEST_SUITE_P(
     Samplers, BucketSamplerConformance,
     ::testing::Values(core::InferSampler::kSparseBucket,
-                      core::InferSampler::kDenseReference),
+                      core::InferSampler::kDenseReference,
+                      core::InferSampler::kAliasMH),
     [](const auto& info) {
-      return info.param == core::InferSampler::kSparseBucket ? "SparseBucket"
-                                                             : "DenseReference";
+      switch (info.param) {
+        case core::InferSampler::kSparseBucket: return "SparseBucket";
+        case core::InferSampler::kDenseReference: return "DenseReference";
+        case core::InferSampler::kAliasMH: return "AliasMH";
+      }
+      return "Unknown";
     });
 
 corpus::Corpus ConformanceCorpus() {
@@ -215,6 +229,33 @@ TEST(CountConformance, AllSolversAgreeOnMultiGpu) {
   validate::ConformanceOptions opts;
   opts.iterations = 2;
   opts.gpus = 2;
+  EXPECT_NO_THROW(
+      validate::RunCountConformance(ConformanceCorpus(), cfg, opts));
+}
+
+// The count-table invariants are sampler-independent: the alias/MH training
+// kernel must maintain them exactly even though its assignments follow a
+// different (stale-proposal) chain than the exact tree kernel's.
+TEST(CountConformance, AliasMhTrainerMaintainsExactCounts) {
+  core::CuldaConfig cfg;
+  cfg.num_topics = 16;
+  cfg.max_tokens_per_block = 256;
+  validate::ConformanceOptions opts;
+  opts.iterations = 2;
+  opts.sampler = core::TrainSampler::kAliasMH;
+  opts.mh_cycles = 2;
+  EXPECT_NO_THROW(
+      validate::RunCountConformance(ConformanceCorpus(), cfg, opts));
+}
+
+TEST(CountConformance, AliasMhTrainerMaintainsExactCountsMultiGpu) {
+  core::CuldaConfig cfg;
+  cfg.num_topics = 16;
+  cfg.max_tokens_per_block = 256;
+  validate::ConformanceOptions opts;
+  opts.iterations = 2;
+  opts.gpus = 2;
+  opts.sampler = core::TrainSampler::kAliasMH;
   EXPECT_NO_THROW(
       validate::RunCountConformance(ConformanceCorpus(), cfg, opts));
 }

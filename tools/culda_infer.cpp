@@ -11,11 +11,17 @@
 //   --workers=N       host threads fanning documents out (0 = sequential);
 //                     results are bit-identical at any worker count
 //   --batch=N         stdin lines grouped per InferBatch call (default 256)
-//   --sampler=MODE    sparse (default) | dense — dense is the O(K)
-//                     reference; both produce identical output
+//   --sampler=MODE    sparse (default) | dense | alias-mh. sparse and dense
+//                     are the exact samplers (identical output); alias-mh is
+//                     the O(1)-per-token MH tier (docs/samplers.md) —
+//                     statistically, not bitwise, equivalent
+//   --mh-cycles=N     alias-mh only: MH proposal pairs per token per sweep
+//                     (default 1)
 //   --validate        check the loaded model's structural invariants
 //                     (src/validate) before serving; exits 1 with the
-//                     violated invariant's name on corruption
+//                     violated invariant's name on corruption. Works in
+//                     every sampler mode (it checks the model, which is
+//                     sampler-independent)
 //
 // Observability (docs/observability.md):
 //   --log-level=L     debug | info | warn | error | off (default info);
@@ -29,6 +35,7 @@
 
 #include "core/inference.hpp"
 #include "core/model_io.hpp"
+#include "core/sampler/sampler.hpp"
 #include "corpus/text_pipeline.hpp"
 #include "corpus/uci_reader.hpp"
 #include "corpus/vocabulary.hpp"
@@ -114,15 +121,13 @@ int main(int argc, char** argv) {
     const int64_t batch_size = flags.GetInt("batch", 256);
     CULDA_CHECK_MSG(batch_size >= 1,
                     "--batch must be >= 1, got " << batch_size);
-    const std::string sampler_name = flags.GetString("sampler", "sparse");
-    CULDA_CHECK_MSG(sampler_name == "sparse" || sampler_name == "dense",
-                    "--sampler must be sparse or dense, got "
-                        << sampler_name);
-
     core::InferenceOptions options;
-    options.sampler = sampler_name == "dense"
-                          ? core::InferSampler::kDenseReference
-                          : core::InferSampler::kSparseBucket;
+    options.sampler =
+        core::ParseInferSampler(flags.GetString("sampler", "sparse"));
+    const int64_t mh_cycles = flags.GetInt("mh-cycles", 1);
+    CULDA_CHECK_MSG(mh_cycles >= 1 && mh_cycles <= 64,
+                    "--mh-cycles must be in [1, 64], got " << mh_cycles);
+    options.mh_cycles = static_cast<uint32_t>(mh_cycles);
     if (workers_flag > 0) options.pool = &pool;
     const core::InferenceEngine engine(model, cfg, options);
 

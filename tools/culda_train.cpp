@@ -17,6 +17,10 @@
 //                       kernel blocks in parallel (default 0 = inline;
 //                       wall-clock only, results are bit-identical)
 //   --chunks-per-gpu=M  override the automatic WS1/WS2 choice
+//   --sampler=MODE      tree (default) | alias-mh — the exact index-tree
+//                       kernel or the O(1) alias/MH tier (docs/samplers.md)
+//   --mh-cycles=N       alias-mh only: MH proposal pairs per token per
+//                       iteration (default 1)
 //   --hyperopt=N        re-estimate α/β every N iterations (default off)
 //   --out=PATH          save the trained model (atomic tmp+rename write)
 //   --checkpoint=PATH   write a checkpoint after every --checkpoint-every
@@ -41,6 +45,7 @@
 
 #include "core/inference.hpp"
 #include "core/model_io.hpp"
+#include "core/sampler/sampler.hpp"
 #include "core/trainer.hpp"
 #include "corpus/split.hpp"
 #include "corpus/synthetic.hpp"
@@ -98,6 +103,12 @@ int main(int argc, char** argv) {
     if (workers > 0) opts.pool = &pool;
     opts.chunks_per_gpu =
         static_cast<uint32_t>(flags.GetInt("chunks-per-gpu", 0));
+    opts.sampler =
+        core::ParseTrainSampler(flags.GetString("sampler", "tree"));
+    const int64_t mh_cycles = flags.GetInt("mh-cycles", 1);
+    CULDA_CHECK_MSG(mh_cycles >= 1 && mh_cycles <= 64,
+                    "--mh-cycles must be in [1, 64], got " << mh_cycles);
+    opts.mh_cycles = static_cast<uint32_t>(mh_cycles);
     opts.hyperopt_interval =
         static_cast<uint32_t>(flags.GetInt("hyperopt", 0));
     const bool validate = flags.GetBool("validate", false);
