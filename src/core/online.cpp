@@ -16,11 +16,10 @@ OnlineTrainer::OnlineTrainer(corpus::Corpus initial_corpus, CuldaConfig cfg,
   trainer_->Train(initial_iterations);
 }
 
-const InferenceEngine& OnlineTrainer::ServingEngine() {
-  if (serving_engine_ == nullptr) {
+SnapshotPtr OnlineTrainer::EnsureSnapshotLocked() {
+  if (snapshot_ == nullptr) {
     CULDA_OBS_SPAN("online/serving_engine_build");
     CULDA_OBS_COUNT("online.engine_rebuilds", 1);
-    served_model_ = std::make_unique<GatheredModel>(trainer_->Gather());
     InferenceOptions options;
     options.pool = opts_.pool;
     // The trainer's sampler tier carries over to serving: an alias/MH
@@ -29,24 +28,25 @@ const InferenceEngine& OnlineTrainer::ServingEngine() {
     if (opts_.sampler == TrainSampler::kAliasMH) {
       options.sampler = InferSampler::kAliasMH;
     }
-    serving_engine_ =
-        std::make_unique<InferenceEngine>(*served_model_, cfg_, options);
+    snapshot_ = ModelSnapshot::FromModel(trainer_->Gather(), cfg_, options,
+                                         next_generation_++);
   }
-  return *serving_engine_;
+  return snapshot_;
 }
 
-void OnlineTrainer::InvalidateServingEngine() {
-  serving_engine_.reset();
-  served_model_.reset();
+SnapshotPtr OnlineTrainer::Snapshot() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return EnsureSnapshotLocked();
 }
 
 InferenceResult OnlineTrainer::AddDocument(std::vector<uint32_t> words) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const uint32_t w : words) {
     CULDA_CHECK_MSG(w < corpus_.vocab_size(),
                     "online documents must use the trained vocabulary");
   }
   CULDA_OBS_COUNT("online.docs_added", 1);
-  InferenceResult result = ServingEngine().InferDocument(
+  InferenceResult result = EnsureSnapshotLocked()->engine().InferDocument(
       words, /*iterations=*/20,
       /*seed=*/cfg_.seed ^ (pending_docs_.size() + 0x9E3779B9ull));
   pending_z_.push_back(result.assignments);
@@ -56,6 +56,7 @@ InferenceResult OnlineTrainer::AddDocument(std::vector<uint32_t> words) {
 
 std::vector<InferenceResult> OnlineTrainer::AddDocuments(
     std::vector<std::vector<uint32_t>> docs) {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& doc : docs) {
     for (const uint32_t w : doc) {
       CULDA_CHECK_MSG(w < corpus_.vocab_size(),
@@ -70,7 +71,8 @@ std::vector<InferenceResult> OnlineTrainer::AddDocuments(
     seeds[i] = cfg_.seed ^ (pending_docs_.size() + i + 0x9E3779B9ull);
   }
   std::vector<InferenceResult> results =
-      ServingEngine().InferBatch(docs, /*iterations=*/20, seeds);
+      EnsureSnapshotLocked()->engine().InferBatch(docs, /*iterations=*/20,
+                                                  seeds);
   for (size_t i = 0; i < docs.size(); ++i) {
     pending_z_.push_back(results[i].assignments);
     pending_docs_.push_back(std::move(docs[i]));
@@ -79,9 +81,13 @@ std::vector<InferenceResult> OnlineTrainer::AddDocuments(
 }
 
 void OnlineTrainer::Absorb(uint32_t refresh_iterations) {
+  std::lock_guard<std::mutex> lock(mutex_);
   CULDA_OBS_SPAN("online/absorb");
   CULDA_OBS_COUNT("online.absorbs", 1);
-  InvalidateServingEngine();  // refresh sweeps change φ
+  // Refresh sweeps change φ: stop handing out the current generation.
+  // Readers still holding it are unaffected (it is immutable and
+  // refcounted); the next Snapshot()/fold-in builds the next generation.
+  snapshot_.reset();
   if (pending_docs_.empty()) {
     trainer_->Train(refresh_iterations);
     return;
@@ -117,6 +123,7 @@ void OnlineTrainer::RebuildTrainer(std::vector<uint16_t> z_doc_major) {
 }
 
 void OnlineTrainer::SaveCheckpoint(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   CULDA_CHECK_MSG(pending_docs_.empty(),
                   pending_docs_.size()
                       << " pending documents would be lost by this "
@@ -125,12 +132,13 @@ void OnlineTrainer::SaveCheckpoint(std::ostream& out) const {
 }
 
 void OnlineTrainer::RestoreCheckpoint(std::istream& in) {
+  std::lock_guard<std::mutex> lock(mutex_);
   CULDA_CHECK_MSG(pending_docs_.empty(),
                   pending_docs_.size()
                       << " pending documents would be orphaned by this "
                          "restore; call Absorb() first");
   trainer_->RestoreCheckpoint(in);
-  InvalidateServingEngine();
+  snapshot_.reset();  // restored φ: next Snapshot() is a new generation
 }
 
 }  // namespace culda::core

@@ -13,14 +13,25 @@
 // along via Export/ImportAssignments (token ids of old documents are
 // stable under append), and new documents start from their folded-in
 // topics rather than random — so a refresh needs only a handful of sweeps.
+//
+// Threading contract: every public method is internally serialized by one
+// mutex, so a serving daemon may call AddDocuments from one thread and
+// Absorb from another without external locking. The fold-in/absorb path
+// is *serialized*, not concurrent — the wait-free serving path is
+// Snapshot(): it hands out an immutable refcounted core::ModelSnapshot
+// that in-flight readers keep alive across an Absorb(); a daemon publishes
+// it through a core::SnapshotSlot so its request threads never touch this
+// mutex at all (RCU-style; see docs/serving.md "Daemon").
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/inference.hpp"
+#include "core/snapshot.hpp"
 #include "core/trainer.hpp"
 #include "corpus/corpus.hpp"
 
@@ -34,12 +45,15 @@ class OnlineTrainer {
                 TrainerOptions opts, uint32_t initial_iterations = 30);
 
   const corpus::Corpus& corpus() const { return corpus_; }
-  uint64_t pending_documents() const { return pending_docs_.size(); }
+  uint64_t pending_documents() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return pending_docs_.size();
+  }
 
   /// Classifies a new document against the current model (fold-in; does not
-  /// change the model) and queues it for the next Absorb(). The serving
-  /// engine (gathered model + sparse φ-column cache) is built lazily and
-  /// reused across calls until the model changes.
+  /// change the model) and queues it for the next Absorb(). Serves from the
+  /// current snapshot, which is built lazily and reused across calls until
+  /// the model changes.
   InferenceResult AddDocument(std::vector<uint32_t> words);
 
   /// Batched fold-in: classifies and queues every document, fanning out
@@ -50,14 +64,32 @@ class OnlineTrainer {
       std::vector<std::vector<uint32_t>> docs);
 
   /// Merges all pending documents into the corpus, seeds their topics from
-  /// the fold-in results, and runs `refresh_iterations` sweeps.
+  /// the fold-in results, and runs `refresh_iterations` sweeps. The next
+  /// Snapshot() call publishes a new generation; snapshots already handed
+  /// out are untouched (their readers finish on the old generation).
   void Absorb(uint32_t refresh_iterations = 5);
 
-  GatheredModel Gather() const { return trainer_->Gather(); }
+  /// The current model generation as an immutable refcounted snapshot.
+  /// Built lazily on first use after construction / Absorb / restore;
+  /// subsequent calls return the same object until the model changes, and
+  /// each rebuild gets a strictly increasing generation number. This is
+  /// the serving hand-off: callers (and their in-flight batches) may hold
+  /// the snapshot for as long as they like — Absorb() never invalidates
+  /// it under them, it just stops being current.
+  SnapshotPtr Snapshot();
+
+  GatheredModel Gather() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trainer_->Gather();
+  }
   double LogLikelihoodPerToken() const {
+    std::lock_guard<std::mutex> lock(mutex_);
     return trainer_->LogLikelihoodPerToken();
   }
-  uint32_t iteration() const { return trainer_->iteration(); }
+  uint32_t iteration() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return trainer_->iteration();
+  }
 
   /// Checkpoints delegate to the underlying trainer (same CRC-framed format,
   /// same transactional restore). Pending fold-in documents are not part of
@@ -68,21 +100,25 @@ class OnlineTrainer {
 
  private:
   void RebuildTrainer(std::vector<uint16_t> z_doc_major);
-  /// Gathers the model and builds the sparse batched engine on first use;
-  /// anything that changes the model (Absorb, restore) invalidates it.
-  const InferenceEngine& ServingEngine();
-  void InvalidateServingEngine();
+  /// Returns the current snapshot, building it on first use; anything that
+  /// changes the model (Absorb, restore) resets it so the next call builds
+  /// the following generation. Caller must hold mutex_.
+  SnapshotPtr EnsureSnapshotLocked();
 
+  mutable std::mutex mutex_;  ///< serializes every public entry point
   corpus::Corpus corpus_;
   CuldaConfig cfg_;
   TrainerOptions opts_;
   std::unique_ptr<CuldaTrainer> trainer_;
   std::vector<std::vector<uint32_t>> pending_docs_;
   std::vector<std::vector<uint16_t>> pending_z_;
-  // The engine keeps a pointer into served_model_; declaration order makes
-  // it die first.
-  std::unique_ptr<GatheredModel> served_model_;
-  std::unique_ptr<InferenceEngine> serving_engine_;
+  /// Current published generation (null between a model change and the
+  /// next Snapshot()/fold-in). Old generations live on in whoever holds
+  /// them — resetting this pointer is what makes Absorb() safe against
+  /// the pre-snapshot race where a cached raw engine could serve one
+  /// stale batch after the model had already moved on.
+  SnapshotPtr snapshot_;
+  uint64_t next_generation_ = 1;
 };
 
 }  // namespace culda::core

@@ -1,0 +1,34 @@
+#include "core/snapshot.hpp"
+
+#include <utility>
+
+#include "core/trainer.hpp"
+#include "obs/obs.hpp"
+
+namespace culda::core {
+
+ModelSnapshot::ModelSnapshot(GatheredModel model, CuldaConfig cfg,
+                             InferenceOptions options, uint64_t generation)
+    : generation_(generation),
+      cfg_(std::move(cfg)),
+      model_(std::move(model)),
+      engine_(model_, cfg_, options) {}
+
+std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromModel(
+    GatheredModel model, CuldaConfig cfg, InferenceOptions options,
+    uint64_t generation) {
+  CULDA_OBS_SPAN("snapshot/build");
+  CULDA_OBS_COUNT("snapshot.builds", 1);
+  // make_shared needs a public ctor; new keeps it private.
+  return std::shared_ptr<const ModelSnapshot>(new ModelSnapshot(
+      std::move(model), std::move(cfg), options, generation));
+}
+
+SnapshotPtr SnapshotFromTrainer(const CuldaTrainer& trainer,
+                                InferenceOptions options,
+                                uint64_t generation) {
+  return ModelSnapshot::FromModel(trainer.Gather(), trainer.config(),
+                                  options, generation);
+}
+
+}  // namespace culda::core

@@ -1,0 +1,122 @@
+// Immutable, refcounted model snapshots — the shared hand-off object
+// between training and serving.
+//
+// The paper trains; a production system *serves* while it trains. The
+// serving discipline (after Yu et al.'s asynchronous topic-modeling
+// argument, PAPERS.md) is that readers must never block on a model
+// update: training publishes each new model as an immutable snapshot, and
+// inference readers pin whichever snapshot was current when their batch
+// started. WarpLDA-style frozen-φ serving makes this cheap — a snapshot
+// is just the gathered model plus the serving engine's precomputed caches,
+// and nothing in it ever mutates after construction.
+//
+// Three layers hand off the same object:
+//
+//   CuldaTrainer  --SnapshotFromTrainer()-->  ModelSnapshot
+//   OnlineTrainer --Snapshot()------------->  ModelSnapshot (cached, new
+//                                             generation after Absorb())
+//   ModelSnapshot::FromModel(...)            (e.g. LoadModelFromFile)
+//
+// and `SnapshotSlot` is the RCU-style publication point: `Publish` swaps
+// one refcounted pointer, `Acquire` copies it. A reader holding a
+// SnapshotPtr keeps that generation alive for as long as its batch runs;
+// the swapped-out generation is destroyed when the last in-flight reader
+// drops it. No reader ever waits on a writer for longer than a refcount
+// operation — never across inference.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/config.hpp"
+#include "core/inference.hpp"
+#include "core/model.hpp"
+
+namespace culda::core {
+
+class CuldaTrainer;
+
+/// One published model generation: the gathered model, the config it was
+/// trained under, and a fully built serving engine over it. Immutable —
+/// every member is const after construction, so any number of threads may
+/// serve from one snapshot concurrently (InferenceEngine has no mutable
+/// state; its per-call scratch lives on the caller's stack).
+class ModelSnapshot {
+ public:
+  /// Heap-only factory: the engine holds pointers into `model`, so a
+  /// snapshot must never move after construction.
+  static std::shared_ptr<const ModelSnapshot> FromModel(
+      GatheredModel model, CuldaConfig cfg, InferenceOptions options = {},
+      uint64_t generation = 1);
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+  uint64_t generation() const { return generation_; }
+  const CuldaConfig& config() const { return cfg_; }
+  const GatheredModel& model() const { return model_; }
+  const InferenceEngine& engine() const { return engine_; }
+
+ private:
+  ModelSnapshot(GatheredModel model, CuldaConfig cfg,
+                InferenceOptions options, uint64_t generation);
+
+  uint64_t generation_;
+  CuldaConfig cfg_;
+  GatheredModel model_;
+  InferenceEngine engine_;  ///< declared after model_: built from, and
+                            ///< destroyed before, the model it points into
+};
+
+using SnapshotPtr = std::shared_ptr<const ModelSnapshot>;
+
+/// Gathers the trainer's current model into a fresh snapshot. The trainer
+/// is read once (Gather copies); the snapshot shares nothing with it and
+/// stays valid after the trainer moves on or dies.
+SnapshotPtr SnapshotFromTrainer(const CuldaTrainer& trainer,
+                                InferenceOptions options = {},
+                                uint64_t generation = 1);
+
+/// RCU-style publication slot. Writers `Publish` a new snapshot by
+/// swapping one refcounted pointer; readers `Acquire` the current one and
+/// keep it alive for the duration of their batch. The slot itself is a
+/// mutex-guarded pointer copy — the critical section is a single refcount
+/// operation, never held across inference or I/O — so a publish during an
+/// in-flight batch never waits for the batch, and the swapped-out
+/// generation retires when its last reader finishes.
+///
+/// (std::atomic<shared_ptr> would make the slot fully lock-free, but
+/// libstdc++'s _Sp_atomic unlocks its internal spinlock with a relaxed RMW
+/// after a plain read of the pointer field, which ThreadSanitizer flags on
+/// every Acquire/Publish pair; the serving tier's TSan-clean guarantee is
+/// worth more than shaving a refcount-length critical section.)
+class SnapshotSlot {
+ public:
+  SnapshotSlot() = default;
+  explicit SnapshotSlot(SnapshotPtr initial) : slot_(std::move(initial)) {}
+
+  SnapshotSlot(const SnapshotSlot&) = delete;
+  SnapshotSlot& operator=(const SnapshotSlot&) = delete;
+
+  /// The current snapshot (may be null before the first Publish). Safe to
+  /// call from any thread at any time.
+  SnapshotPtr Acquire() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return slot_;
+  }
+
+  /// Installs `next` and returns the previous snapshot (which the caller
+  /// may drop — in-flight readers keep it alive regardless).
+  SnapshotPtr Publish(SnapshotPtr next) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    slot_.swap(next);
+    return next;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  SnapshotPtr slot_;
+};
+
+}  // namespace culda::core

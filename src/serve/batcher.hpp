@@ -1,0 +1,83 @@
+// Request coalescing for the serving daemon: a bounded MPSC queue whose
+// consumer side yields *batches* shaped by a latency budget.
+//
+// Many client threads Enqueue single requests; one dispatch thread calls
+// NextBatch, which blocks until either `max_batch` requests are pending or
+// the oldest pending request has waited `max_wait_ms` — whichever comes
+// first — then hands back up to `max_batch` tickets. That is the whole
+// batching policy: a full batch flushes immediately (throughput), a lone
+// request never waits longer than the budget (latency).
+//
+// Admission control is explicit: the queue is bounded at `max_queue`, and
+// an Enqueue against a full (or closed) queue returns false *immediately*
+// — the caller sheds the request with a backpressure response instead of
+// blocking the client or buffering unboundedly. Shedding at the front
+// door keeps the queue-wait of admitted requests bounded by roughly
+// (max_queue / max_batch) × batch-inference-time, which is what makes the
+// serve.queue.wait histogram a meaningful SLO signal.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace culda::serve {
+
+struct BatcherOptions {
+  /// Flush threshold and hard cap on batch size.
+  size_t max_batch = 64;
+  /// Latency budget: a non-empty pending set never waits longer than this
+  /// before dispatch, even if the batch is not full.
+  double max_wait_ms = 5.0;
+  /// Admission bound on pending (not yet dispatched) requests; beyond it
+  /// Enqueue sheds. 0 is legal and sheds everything (useful in tests).
+  size_t max_queue = 1024;
+};
+
+/// One queued request plus its completion callback and enqueue timestamp.
+/// The callback is invoked exactly once, from the dispatch thread, when
+/// the request's batch completes — shed requests never enter the queue
+/// (Enqueue returns false and the caller responds inline).
+struct Ticket {
+  ServeRequest request;
+  std::function<void(ServeResponse)> done;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+class CoalescingBatcher {
+ public:
+  explicit CoalescingBatcher(BatcherOptions options);
+
+  /// Thread-safe; never blocks. False = shed (queue full or closed) — the
+  /// ticket is only consumed on success, so on failure the caller still
+  /// owns it and answers it (typically with a backpressure response).
+  bool Enqueue(Ticket&& ticket);
+
+  /// Dispatch side (single consumer). Blocks per the flush policy above;
+  /// returns an empty vector only when the batcher is closed and fully
+  /// drained — the dispatch loop's termination condition.
+  std::vector<Ticket> NextBatch();
+
+  /// Stops admissions (Enqueue → false). Pending requests remain and
+  /// NextBatch keeps returning them until empty: closing is *graceful* —
+  /// drain, don't drop. Idempotent.
+  void Close();
+
+  size_t pending() const;
+  bool closed() const;
+
+ private:
+  const BatcherOptions options_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;  ///< consumer wakeups
+  std::deque<Ticket> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace culda::serve

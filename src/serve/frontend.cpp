@@ -1,0 +1,251 @@
+#include "serve/frontend.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+#include "util/signal.hpp"
+
+namespace culda::serve {
+
+namespace {
+
+/// Serializes response lines onto one fd. Shared (refcounted) between the
+/// reader loop and every in-flight completion callback, so a frontend can
+/// return while the daemon is still completing its requests.
+class LineWriter {
+ public:
+  explicit LineWriter(int fd) : fd_(fd) {}
+
+  void WriteLine(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string buf = line;
+    buf += '\n';
+    size_t off = 0;
+    while (off < buf.size()) {
+      const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      // Client gone (EPIPE etc.): drop the rest silently — the daemon
+      // keeps serving other connections. (SIGPIPE is ignored in the tool.)
+      return;
+    }
+  }
+
+ private:
+  int fd_;
+  std::mutex mutex_;
+};
+
+bool ShouldStop(const FrontendOptions& options) {
+  if (ShutdownRequested()) return true;
+  return options.stop != nullptr &&
+         options.stop->load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+FrontendResult RunLineFrontend(ServeDaemon& daemon, int in_fd, int out_fd,
+                               const ReloadFn& reload,
+                               FrontendOptions options) {
+  auto writer = std::make_shared<LineWriter>(out_fd);
+  FrontendResult result;
+  std::string buffer;
+  size_t scan_from = 0;
+  bool eof = false;
+
+  const auto handle_line = [&](std::string_view line) -> bool {
+    ParsedLine parsed = ParseRequestLine(line);
+    if (parsed.kind == LineKind::kError) {
+      if (parsed.error.empty()) return true;  // blank line
+      ++result.lines;
+      writer->WriteLine(FormatResponse(MakeErrorResponse(
+          std::move(parsed.id), "bad_request", std::move(parsed.error))));
+      return true;
+    }
+    ++result.lines;
+    if (parsed.kind == LineKind::kControl) {
+      if (parsed.op == "drain") {
+        result.drain_requested = true;
+        const auto snap = daemon.Current();
+        writer->WriteLine(FormatControlAck(
+            parsed.id, "drain", snap ? snap->generation() : 0));
+        return false;  // stop reading; caller drains
+      }
+      if (parsed.op == "stats") {
+        writer->WriteLine(FormatControlAck(
+            parsed.id, "stats",
+            daemon.Current() ? daemon.Current()->generation() : 0,
+            obs::Metrics().SnapshotJson()));
+        return true;
+      }
+      // reload: build the next generation, publish, ack with its number.
+      try {
+        CULDA_CHECK_MSG(reload != nullptr,
+                        "this daemon has no reload source");
+        core::SnapshotPtr next = reload();
+        daemon.Publish(next);
+        writer->WriteLine(
+            FormatControlAck(parsed.id, "reload", next->generation()));
+      } catch (const std::exception& e) {
+        writer->WriteLine(FormatResponse(MakeErrorResponse(
+            std::move(parsed.id), "reload_failed", e.what())));
+      }
+      return true;
+    }
+    // Inference: the callback owns a writer reference, so completion after
+    // this frame returns is safe.
+    daemon.Submit(std::move(parsed.request),
+                  [writer](ServeResponse response) {
+                    writer->WriteLine(FormatResponse(response));
+                  });
+    return true;
+  };
+
+  while (!eof && !ShouldStop(options)) {
+    // Drain complete lines already buffered before reading more.
+    size_t nl;
+    bool keep_going = true;
+    while (keep_going &&
+           (nl = buffer.find('\n', scan_from)) != std::string::npos) {
+      keep_going = handle_line(
+          std::string_view(buffer).substr(scan_from, nl - scan_from));
+      scan_from = nl + 1;
+    }
+    buffer.erase(0, scan_from);
+    scan_from = 0;
+    if (!keep_going) return result;
+    CULDA_CHECK_MSG(buffer.size() <= options.max_line_bytes,
+                    "request line exceeds " << options.max_line_bytes
+                                            << " bytes");
+
+    struct pollfd pfd = {};
+    pfd.fd = in_fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, options.poll_interval_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;  // signal: loop re-checks the flag
+      CULDA_CHECK_MSG(false, "poll failed: " << std::strerror(errno));
+    }
+    if (pr == 0) continue;  // timeout: re-check stop flags
+    if ((pfd.revents & (POLLIN | POLLHUP)) == 0) {
+      eof = true;  // POLLERR/POLLNVAL: treat as end of stream
+      continue;
+    }
+    char chunk[65536];
+    const ssize_t n = ::read(in_fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      eof = true;
+      continue;
+    }
+    if (n == 0) {
+      eof = true;
+      continue;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+
+  // EOF with an unterminated final line: serve it too (files rarely end
+  // in exactly '\n' when humans write them).
+  if (eof && !buffer.empty()) handle_line(buffer);
+  return result;
+}
+
+SocketFrontend::SocketFrontend(ServeDaemon& daemon, std::string path,
+                               ReloadFn reload, FrontendOptions options)
+    : daemon_(daemon),
+      path_(std::move(path)),
+      reload_(std::move(reload)),
+      options_(options) {
+  sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  CULDA_CHECK_MSG(path_.size() < sizeof(addr.sun_path),
+                  "socket path too long (" << path_.size() << " bytes): "
+                                           << path_);
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  CULDA_CHECK_MSG(listen_fd_ >= 0,
+                  "socket() failed: " << std::strerror(errno));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    CULDA_CHECK_MSG(false, "cannot bind socket " << path_ << ": "
+                                                 << std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+    listen_fd_ = -1;
+    CULDA_CHECK_MSG(false, "cannot listen on " << path_ << ": "
+                                               << std::strerror(err));
+  }
+}
+
+SocketFrontend::~SocketFrontend() {
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(path_.c_str());
+  }
+}
+
+FrontendResult SocketFrontend::Run() {
+  FrontendResult total;
+  std::mutex merge_mutex;  ///< guards `total` against connection threads
+  std::vector<std::thread> connections;
+
+  while (!stop_.load(std::memory_order_relaxed) && !ShutdownRequested()) {
+    struct pollfd pfd = {};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, options_.poll_interval_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      CULDA_CHECK_MSG(false, "poll failed: " << std::strerror(errno));
+    }
+    if (pr == 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      CULDA_LOG(Warn) << "accept failed: " << std::strerror(errno);
+      continue;
+    }
+    CULDA_OBS_COUNT("serve.connections", 1);
+    connections.emplace_back([this, conn, &total, &merge_mutex] {
+      FrontendOptions conn_options = options_;
+      conn_options.stop = &stop_;
+      const FrontendResult r =
+          RunLineFrontend(daemon_, conn, conn, reload_, conn_options);
+      ::close(conn);
+      std::lock_guard<std::mutex> lock(merge_mutex);
+      total.lines += r.lines;
+      total.drain_requested |= r.drain_requested;
+      // A drain op from any client shuts the whole listener down.
+      if (r.drain_requested) stop_.store(true, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : connections) t.join();
+  return total;
+}
+
+void SocketFrontend::Stop() { stop_.store(true, std::memory_order_relaxed); }
+
+}  // namespace culda::serve

@@ -1,0 +1,92 @@
+// culda_serve wire protocol: JSON Lines over stdin/stdout or a Unix
+// socket. One request per line, one response per line; responses carry the
+// request's id and come back in *completion* order (sort by id to compare
+// runs). The full schema, knobs, and examples are in docs/serving.md
+// ("Daemon").
+//
+// Inference request:   {"id":"r1","words":[3,17,3],"seed":7}
+//   id     required; any non-empty string (echoed verbatim)
+//   words  required; vocabulary ids (checked against the serving snapshot)
+//   seed   optional (default 7); per-document Philox seed, so a request's
+//          result depends only on (snapshot, words, seed, iterations) —
+//          never on how requests happened to coalesce into batches
+// Control request:     {"op":"reload"} | {"op":"stats"} | {"op":"drain"}
+//   optionally with an "id" to correlate the acknowledgement
+//
+// Response (ok):   {"id":"r1","ok":true,"generation":2,"tokens":3,
+//                   "topics":[[4,0.61],[9,0.2]],"assignments":[4,9,4]}
+// Response (err):  {"id":"r1","ok":false,"error":"shed",
+//                   "detail":"queue full (1024 pending)"}
+//   error codes: "bad_request" (malformed JSON / schema / out-of-vocab
+//   word), "shed" (admission control: bounded queue full — retry later),
+//   "draining" (daemon is shutting down and no longer accepts work).
+//
+// Parsing is strict in the PR 5 CLI spirit: unknown fields, wrong types,
+// duplicate keys, trailing garbage, and non-integer word ids are all
+// rejected with a descriptive bad_request — a typo'd field name must fail
+// loudly, not be silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/inference.hpp"
+
+namespace culda::serve {
+
+/// A parsed inference request.
+struct ServeRequest {
+  std::string id;
+  std::vector<uint32_t> words;
+  uint64_t seed = 7;
+};
+
+/// One response line. `Format*` below render it; inference payload fields
+/// are only present when ok.
+struct ServeResponse {
+  std::string id;
+  bool ok = false;
+  std::string error;   ///< "bad_request" | "shed" | "draining" (when !ok)
+  std::string detail;  ///< human-readable elaboration (when !ok)
+  uint64_t generation = 0;            ///< snapshot that served the request
+  core::InferenceResult result;       ///< when ok
+};
+
+ServeResponse MakeErrorResponse(std::string id, std::string_view code,
+                                std::string detail);
+
+/// What one input line parsed into.
+enum class LineKind {
+  kInfer,    ///< a ServeRequest
+  kControl,  ///< an {"op": ...} control request
+  kError,    ///< malformed — answer with `error` and keep serving
+};
+
+struct ParsedLine {
+  LineKind kind = LineKind::kError;
+  ServeRequest request;  ///< kInfer
+  std::string op;        ///< kControl: "reload" | "stats" | "drain"
+  std::string id;        ///< id to echo (kControl/kError; may be empty)
+  std::string error;     ///< kError: what was wrong
+};
+
+/// Parses one JSONL request line. Never throws: malformed input comes back
+/// as kError with a message. Blank lines are kError with empty `error` —
+/// callers skip them silently.
+ParsedLine ParseRequestLine(std::string_view line);
+
+/// Renders a response as one JSON line (no trailing newline). Doubles are
+/// printed round-trippably (obs::JsonNumber), so two runs that produced
+/// bit-identical InferenceResults produce byte-identical response lines —
+/// the property the CI smoke's daemon-vs-oneshot diff gates on.
+std::string FormatResponse(const ServeResponse& response);
+
+/// Renders a control acknowledgement, e.g. {"id":..,"ok":true,"op":"reload",
+/// "generation":3}. `payload` (may be empty) is spliced in as extra fields.
+std::string FormatControlAck(std::string_view id, std::string_view op,
+                             uint64_t generation,
+                             std::string_view payload_json = {});
+
+}  // namespace culda::serve

@@ -1,0 +1,152 @@
+#include "serve/server.hpp"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+
+namespace culda::serve {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ServeDaemon::ServeDaemon(ServeDaemonOptions options, core::SnapshotPtr initial)
+    : options_(options),
+      slot_(std::move(initial)),
+      batcher_(options.batch),
+      dispatcher_([this] { DispatchLoop(); }) {}
+
+ServeDaemon::~ServeDaemon() { Drain(); }
+
+core::SnapshotPtr ServeDaemon::Publish(core::SnapshotPtr next) {
+  CULDA_CHECK_MSG(next != nullptr, "cannot publish a null snapshot");
+  CULDA_OBS_COUNT("serve.snapshot.swaps", 1);
+  return slot_.Publish(std::move(next));
+}
+
+void ServeDaemon::Submit(ServeRequest request,
+                         std::function<void(ServeResponse)> done) {
+  CULDA_OBS_COUNT("serve.requests", 1);
+  Ticket ticket;
+  ticket.request = std::move(request);
+  ticket.done = std::move(done);
+  ticket.enqueued = std::chrono::steady_clock::now();
+  if (!batcher_.Enqueue(std::move(ticket))) {
+    // Enqueue only consumes the ticket on success; here we still own it.
+    // Respond inline — backpressure must be immediate and non-blocking.
+    CULDA_OBS_COUNT("serve.shed.count", 1);
+    const bool draining = batcher_.closed();
+    ticket.done(MakeErrorResponse(
+        std::move(ticket.request.id),
+        draining ? "draining" : "shed",
+        draining ? "daemon is shutting down"
+                 : "queue full (" + std::to_string(options_.batch.max_queue) +
+                       " pending)"));
+  }
+}
+
+std::future<ServeResponse> ServeDaemon::Submit(ServeRequest request) {
+  auto promise = std::make_shared<std::promise<ServeResponse>>();
+  std::future<ServeResponse> future = promise->get_future();
+  Submit(std::move(request),
+         [promise](ServeResponse r) { promise->set_value(std::move(r)); });
+  return future;
+}
+
+void ServeDaemon::Drain() {
+  std::call_once(drained_, [this] {
+    batcher_.Close();
+    if (dispatcher_.joinable()) dispatcher_.join();
+  });
+}
+
+void ServeDaemon::DispatchLoop() {
+  while (true) {
+    std::vector<Ticket> batch = batcher_.NextBatch();
+    if (batch.empty()) return;  // closed and drained
+    ServeBatch(std::move(batch));
+  }
+}
+
+void ServeDaemon::ServeBatch(std::vector<Ticket> batch) {
+  const auto dispatched = std::chrono::steady_clock::now();
+  CULDA_OBS_COUNT("serve.batches", 1);
+  // Unit abuse by design: the latency histogram's value axis is just
+  // doubles, so batch size is recorded as-is (docs/serving.md documents
+  // the unit as requests-per-batch).
+  CULDA_OBS_HIST("serve.batch.size", static_cast<double>(batch.size()));
+  for (const Ticket& t : batch) {
+    CULDA_OBS_HIST("serve.queue.wait",
+                   std::chrono::duration<double>(dispatched - t.enqueued)
+                       .count());
+  }
+
+  // Pin the current generation for the whole batch (RCU read-side): a
+  // Publish racing with us retires the old snapshot only after this
+  // shared_ptr dies.
+  const core::SnapshotPtr snap = slot_.Acquire();
+  if (snap == nullptr) {
+    for (Ticket& t : batch) {
+      CULDA_OBS_COUNT("serve.responses.error", 1);
+      t.done(MakeErrorResponse(std::move(t.request.id), "draining",
+                               "no model published"));
+    }
+    return;
+  }
+
+  // Vocabulary check against *this batch's* snapshot: a request that
+  // out-runs the model it was written for gets a per-request error, and
+  // the rest of the batch proceeds.
+  const uint32_t vocab = snap->model().vocab_size;
+  std::vector<size_t> live;  ///< indices into batch that infer
+  std::vector<std::vector<uint32_t>> docs;
+  std::vector<uint64_t> seeds;
+  live.reserve(batch.size());
+  docs.reserve(batch.size());
+  seeds.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    bool in_vocab = true;
+    for (const uint32_t w : batch[i].request.words) {
+      if (w >= vocab) {
+        in_vocab = false;
+        CULDA_OBS_COUNT("serve.responses.error", 1);
+        batch[i].done(MakeErrorResponse(
+            std::move(batch[i].request.id), "bad_request",
+            "word id " + std::to_string(w) + " is out of vocabulary (V=" +
+                std::to_string(vocab) + ")"));
+        break;
+      }
+    }
+    if (!in_vocab) continue;
+    live.push_back(i);
+    docs.push_back(std::move(batch[i].request.words));
+    seeds.push_back(batch[i].request.seed);
+  }
+
+  std::vector<core::InferenceResult> results;
+  if (!docs.empty()) {
+    CULDA_OBS_TIMED("serve.batch.infer");
+    results = snap->engine().InferBatch(docs, options_.iterations, seeds);
+  }
+  for (size_t j = 0; j < live.size(); ++j) {
+    Ticket& t = batch[live[j]];
+    ServeResponse response;
+    response.id = std::move(t.request.id);
+    response.ok = true;
+    response.generation = snap->generation();
+    response.result = std::move(results[j]);
+    CULDA_OBS_COUNT("serve.responses.ok", 1);
+    CULDA_OBS_HIST("serve.request.latency", SecondsSince(t.enqueued));
+    t.done(std::move(response));
+  }
+}
+
+}  // namespace culda::serve

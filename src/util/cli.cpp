@@ -123,4 +123,20 @@ std::vector<std::string> CliFlags::UnusedFlags() const {
   return unused;
 }
 
+void CliFlags::PrintUsage(std::FILE* out, std::string_view usage) {
+  std::fwrite(usage.data(), 1, usage.size(), out);
+  if (!usage.empty() && usage.back() != '\n') std::fputc('\n', out);
+}
+
+int CliFlags::RejectUnknownFlags(std::string_view usage) const {
+  const auto unused = UnusedFlags();
+  if (unused.empty()) return 0;
+  for (const auto& name : unused) {
+    std::fprintf(stderr, "unknown flag --%s\n", name.c_str());
+  }
+  std::fputc('\n', stderr);
+  PrintUsage(stderr, usage);
+  return 2;
+}
+
 }  // namespace culda

@@ -2,11 +2,19 @@
 //
 // Supports `--name=value`, `--name value`, and boolean `--name` /
 // `--no-name`. Unknown flags are an error so experiment scripts fail loudly.
+//
+// Usage printing (shared by every tool): each tool owns a usage string and
+// calls `HelpRequested()` first (--help → print usage to stdout, exit 0)
+// and `RejectUnknownFlags()` after reading all its flags (unknown flag →
+// "unknown flag --x" + usage on stderr, exit 2 — the same exit code PR 5's
+// strict value parsing reserves for CLI mistakes).
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/log.hpp"
@@ -32,6 +40,20 @@ class CliFlags {
   /// Returns the flags that were never read by any Get*/Has call; the
   /// benches call this after parsing to reject typos.
   std::vector<std::string> UnusedFlags() const;
+
+  /// True when --help was passed. Call before reading any other flag so
+  /// `tool --help` succeeds even with otherwise-invalid or missing
+  /// arguments; the tool prints its usage and exits 0.
+  bool HelpRequested() const { return Has("help"); }
+
+  /// Writes `usage` (a full usage text, ending in a newline) to `out`.
+  static void PrintUsage(std::FILE* out, std::string_view usage);
+
+  /// Call after every flag has been read: if any flag was never consumed,
+  /// prints "unknown flag --x" plus the usage text to stderr and returns
+  /// the CLI-usage exit code 2; returns 0 otherwise. Typical use:
+  ///   if (const int rc = flags.RejectUnknownFlags(kUsage)) return rc;
+  int RejectUnknownFlags(std::string_view usage) const;
 
   /// Reads the shared logging flags — `--log-level=debug|info|warn|error|off`
   /// and the `--quiet` shorthand (→ warn; `--log-level` wins when both are

@@ -1,0 +1,41 @@
+#include "util/signal.hpp"
+
+#include <csignal>
+
+namespace culda {
+
+namespace {
+
+// sig_atomic_t, not std::atomic: the handler may interrupt any code, and
+// sig_atomic_t is the type the C standard guarantees is safe to store to
+// from a handler. Readers poll; no ordering beyond "eventually visible"
+// is needed.
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+
+extern "C" void CuldaShutdownHandler(int sig) { g_shutdown_signal = sig; }
+
+}  // namespace
+
+void InstallShutdownHandler() {
+#if defined(_WIN32)
+  std::signal(SIGINT, CuldaShutdownHandler);
+  std::signal(SIGTERM, CuldaShutdownHandler);
+#else
+  struct sigaction sa = {};
+  sa.sa_handler = CuldaShutdownHandler;
+  sigemptyset(&sa.sa_mask);
+  // No SA_RESTART: blocking reads must return EINTR so read loops can
+  // notice the flag instead of sleeping through the shutdown.
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+#endif
+}
+
+bool ShutdownRequested() { return g_shutdown_signal != 0; }
+
+int ShutdownSignal() { return g_shutdown_signal; }
+
+void ResetShutdownFlag() { g_shutdown_signal = 0; }
+
+}  // namespace culda

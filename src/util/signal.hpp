@@ -1,0 +1,42 @@
+// Cooperative SIGINT/SIGTERM handling for the long-running tools.
+//
+// The tools' loops are the wrong place to die mid-iteration: culda_train
+// has atomic checkpoints that a hard kill throws away, and culda_serve has
+// queued requests that deserve answers. The contract is one process-wide
+// flag, set asynchronously by the handler and polled at safe boundaries:
+//
+//   culda_train  — checked between iterations: finish the sweep, write a
+//                  final checkpoint/model, exit kInterruptedExitCode.
+//   culda_infer  — stop reading stdin, flush the current batch, exit
+//                  kInterruptedExitCode.
+//   culda_serve  — stop accepting, drain the queue (answering every
+//                  admitted request), flush metrics, exit 0 — a signalled
+//                  drain is a *clean* shutdown for a daemon.
+//
+// The handler is async-signal-safe by doing nothing but two sig_atomic_t
+// stores; it is installed without SA_RESTART so blocking reads (stdin,
+// sockets) return EINTR and their loops notice the flag promptly.
+#pragma once
+
+namespace culda {
+
+/// Process exit code for "interrupted by SIGINT/SIGTERM, state saved
+/// cleanly" (checkpoint written / batch flushed). Distinct from 0 (done),
+/// 1 (input error), 2 (CLI usage), 3 (internal error); see docs/serving.md.
+inline constexpr int kInterruptedExitCode = 4;
+
+/// Installs the SIGINT/SIGTERM flag handler. Idempotent; call once near
+/// the top of main, before starting work worth finishing.
+void InstallShutdownHandler();
+
+/// True once any handled signal has arrived.
+bool ShutdownRequested();
+
+/// The signal that arrived (SIGINT/SIGTERM), or 0. If several arrived the
+/// last one wins — only "did we get one" drives behavior.
+int ShutdownSignal();
+
+/// Clears the flag (tests that simulate a signal via std::raise).
+void ResetShutdownFlag();
+
+}  // namespace culda

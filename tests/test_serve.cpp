@@ -1,0 +1,525 @@
+// Serving daemon tests: wire-protocol strictness, the coalescing batcher's
+// flush/shed/drain policy, ServeDaemon end-to-end (including backpressure
+// and hot-swap), and the fd-pair line frontend.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/snapshot.hpp"
+#include "core/trainer.hpp"
+#include "corpus/synthetic.hpp"
+#include "serve/batcher.hpp"
+#include "serve/frontend.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace culda::serve {
+namespace {
+
+core::SnapshotPtr TestSnapshot(uint64_t generation = 1,
+                               uint32_t train_iters = 5) {
+  corpus::SyntheticProfile p;
+  p.num_docs = 120;
+  p.vocab_size = 200;
+  p.avg_doc_length = 25;
+  core::CuldaConfig cfg;
+  cfg.num_topics = 16;
+  // The trainer keeps a pointer to its corpus; it must stay alive until
+  // the snapshot is gathered.
+  const auto corpus = corpus::GenerateCorpus(p);
+  core::CuldaTrainer trainer(corpus, cfg, {});
+  trainer.Train(train_iters);
+  return core::SnapshotFromTrainer(trainer, {}, generation);
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(Protocol, ParsesMinimalRequest) {
+  const auto p = ParseRequestLine(R"({"id":"r1","words":[3,17,3]})");
+  ASSERT_EQ(p.kind, LineKind::kInfer);
+  EXPECT_EQ(p.request.id, "r1");
+  EXPECT_EQ(p.request.words, (std::vector<uint32_t>{3, 17, 3}));
+  EXPECT_EQ(p.request.seed, 7u);  // documented default
+}
+
+TEST(Protocol, ParsesSeedAndWhitespace) {
+  const auto p =
+      ParseRequestLine(R"(  { "seed" : 42 , "id" : "x" , "words" : [ 1 ] } )");
+  ASSERT_EQ(p.kind, LineKind::kInfer);
+  EXPECT_EQ(p.request.seed, 42u);
+}
+
+TEST(Protocol, BlankLineIsSilentSkip) {
+  const auto p = ParseRequestLine("   \t  ");
+  EXPECT_EQ(p.kind, LineKind::kError);
+  EXPECT_TRUE(p.error.empty());
+}
+
+TEST(Protocol, RejectsStrictly) {
+  // Each of these must fail loudly (PR 5 spirit: typos never pass silently).
+  const char* bad[] = {
+      R"({"id":"r","words":[1],"wordz":[2]})",    // unknown field
+      R"({"id":"r","words":[1],"id":"r2"})",      // duplicate key
+      R"({"id":"r","words":[1]} trailing)",       // trailing garbage
+      R"({"id":"r","words":[1.5]})",              // non-integer word id
+      R"({"id":"r","words":[-3]})",               // negative word id
+      R"({"words":[1]})",                         // missing id
+      R"({"id":"","words":[1]})",                 // empty id
+      R"({"id":"r"})",                            // missing words
+      R"({"id":"r","words":1})",                  // words not an array
+      R"({"id":"r","words":[1],"seed":"7"})",     // seed not a number
+      R"(["id","r"])",                            // not an object
+      R"({"id":"r","words":[1])",                 // unterminated
+  };
+  for (const char* line : bad) {
+    const auto p = ParseRequestLine(line);
+    EXPECT_EQ(p.kind, LineKind::kError) << line;
+    EXPECT_FALSE(p.error.empty()) << line;
+  }
+}
+
+TEST(Protocol, ControlOps) {
+  const auto drain = ParseRequestLine(R"({"op":"drain","id":"c1"})");
+  ASSERT_EQ(drain.kind, LineKind::kControl);
+  EXPECT_EQ(drain.op, "drain");
+  EXPECT_EQ(drain.id, "c1");
+
+  const auto reload = ParseRequestLine(R"({"op":"reload"})");
+  ASSERT_EQ(reload.kind, LineKind::kControl);
+  EXPECT_EQ(reload.op, "reload");
+  EXPECT_TRUE(reload.id.empty());
+
+  EXPECT_EQ(ParseRequestLine(R"({"op":"restart"})").kind, LineKind::kError);
+  // Control requests are just as strict: no stray fields.
+  EXPECT_EQ(ParseRequestLine(R"({"op":"drain","words":[1]})").kind,
+            LineKind::kError);
+}
+
+TEST(Protocol, StringEscapes) {
+  const auto p = ParseRequestLine(R"({"id":"a\"b\\cA","words":[1]})");
+  ASSERT_EQ(p.kind, LineKind::kInfer);
+  EXPECT_EQ(p.request.id, "a\"b\\cA");
+}
+
+TEST(Protocol, FormatErrorResponse) {
+  const auto line =
+      FormatResponse(MakeErrorResponse("r9", "shed", "queue full"));
+  EXPECT_EQ(line,
+            R"({"id":"r9","ok":false,"error":"shed","detail":"queue full"})");
+}
+
+TEST(Protocol, FormatOkResponseIsStable) {
+  ServeResponse r;
+  r.id = "r1";
+  r.ok = true;
+  r.generation = 3;
+  r.result.tokens = 2;
+  r.result.mixture = {{4, 1, 0.5}, {9, 1, 0.25}};
+  r.result.assignments = {4, 9};
+  const auto line = FormatResponse(r);
+  EXPECT_EQ(line,
+            R"({"id":"r1","ok":true,"generation":3,"tokens":2,)"
+            R"("topics":[[4,0.5],[9,0.25]],"assignments":[4,9]})");
+}
+
+// ------------------------------------------------------------- batcher
+
+Ticket MakeTicket(std::string id,
+                  std::function<void(ServeResponse)> done = [](auto) {}) {
+  Ticket t;
+  t.request.id = std::move(id);
+  t.request.words = {1};
+  t.done = std::move(done);
+  t.enqueued = std::chrono::steady_clock::now();
+  return t;
+}
+
+TEST(Batcher, FlushesOnFullBatch) {
+  BatcherOptions opts;
+  opts.max_batch = 3;
+  opts.max_wait_ms = 60000;  // never flush on time in this test
+  CoalescingBatcher b(opts);
+  ASSERT_TRUE(b.Enqueue(MakeTicket("a")));
+  ASSERT_TRUE(b.Enqueue(MakeTicket("b")));
+  ASSERT_TRUE(b.Enqueue(MakeTicket("c")));
+  const auto batch = b.NextBatch();  // must not wait: batch is full
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].request.id, "a");
+  EXPECT_EQ(batch[2].request.id, "c");
+}
+
+TEST(Batcher, FlushesOnLatencyBudget) {
+  BatcherOptions opts;
+  opts.max_batch = 1000;  // never fills
+  opts.max_wait_ms = 5;
+  CoalescingBatcher b(opts);
+  ASSERT_TRUE(b.Enqueue(MakeTicket("lone")));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto batch = b.NextBatch();
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_EQ(batch.size(), 1u);
+  // A lone request flushes at the budget, not at max_batch; generous upper
+  // bound for slow CI machines.
+  EXPECT_LT(waited_ms, 5000.0);
+}
+
+TEST(Batcher, ShedsWhenFullAndTicketSurvives) {
+  BatcherOptions opts;
+  opts.max_queue = 2;
+  CoalescingBatcher b(opts);
+  ASSERT_TRUE(b.Enqueue(MakeTicket("a")));
+  ASSERT_TRUE(b.Enqueue(MakeTicket("b")));
+  bool called = false;
+  Ticket shed = MakeTicket("c", [&](ServeResponse) { called = true; });
+  ASSERT_FALSE(b.Enqueue(std::move(shed)));
+  // On failure the caller still owns the ticket — callback included.
+  ASSERT_NE(shed.done, nullptr);
+  shed.done({});
+  EXPECT_TRUE(called);
+  EXPECT_EQ(b.pending(), 2u);
+}
+
+TEST(Batcher, ZeroCapacityShedsEverything) {
+  BatcherOptions opts;
+  opts.max_queue = 0;
+  CoalescingBatcher b(opts);
+  EXPECT_FALSE(b.Enqueue(MakeTicket("a")));
+}
+
+TEST(Batcher, CloseDrainsGracefully) {
+  BatcherOptions opts;
+  opts.max_batch = 2;
+  CoalescingBatcher b(opts);
+  ASSERT_TRUE(b.Enqueue(MakeTicket("a")));
+  ASSERT_TRUE(b.Enqueue(MakeTicket("b")));
+  ASSERT_TRUE(b.Enqueue(MakeTicket("c")));
+  b.Close();
+  EXPECT_TRUE(b.closed());
+  EXPECT_FALSE(b.Enqueue(MakeTicket("late")));  // no new admissions...
+  EXPECT_EQ(b.NextBatch().size(), 2u);          // ...but the queue drains
+  EXPECT_EQ(b.NextBatch().size(), 1u);
+  EXPECT_TRUE(b.NextBatch().empty());  // terminal: closed and empty
+}
+
+TEST(Batcher, ManyProducersOneConsumer) {
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.max_wait_ms = 1;
+  CoalescingBatcher b(opts);
+  constexpr int kThreads = 4, kPerThread = 50;
+  std::vector<std::thread> producers;
+  std::atomic<int> accepted{0};
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&b, &accepted] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (b.Enqueue(MakeTicket("x"))) accepted.fetch_add(1);
+      }
+    });
+  }
+  int drained = 0;
+  std::thread consumer([&] {
+    while (true) {
+      const auto batch = b.NextBatch();
+      if (batch.empty()) return;
+      drained += static_cast<int>(batch.size());
+    }
+  });
+  for (auto& t : producers) t.join();
+  b.Close();
+  consumer.join();
+  EXPECT_EQ(drained, accepted.load());
+}
+
+// -------------------------------------------------------------- daemon
+
+TEST(Daemon, ServesAndMatchesDirectInference) {
+  const auto snap = TestSnapshot();
+  ServeDaemonOptions opts;
+  opts.iterations = 10;
+  ServeDaemon daemon(opts, snap);
+
+  ServeRequest req;
+  req.id = "r1";
+  req.words = {3, 17, 3, 40};
+  req.seed = 99;
+  auto future = daemon.Submit(req);
+  const ServeResponse r = future.get();
+  ASSERT_TRUE(r.ok) << r.error << ": " << r.detail;
+  EXPECT_EQ(r.id, "r1");
+  EXPECT_EQ(r.generation, 1u);
+
+  // Coalescing must not change results: the daemon's answer is
+  // bit-identical to a direct single-document call.
+  const auto direct = snap->engine().InferDocument(req.words, 10, 99);
+  EXPECT_EQ(r.result.assignments, direct.assignments);
+  EXPECT_EQ(r.result.tokens, direct.tokens);
+}
+
+TEST(Daemon, OutOfVocabGetsBadRequestOthersProceed) {
+  ServeDaemonOptions opts;
+  opts.iterations = 5;
+  ServeDaemon daemon(opts, TestSnapshot());
+
+  ServeRequest good;
+  good.id = "ok";
+  good.words = {1, 2};
+  ServeRequest bad;
+  bad.id = "oov";
+  bad.words = {1, 1 << 20};
+  auto fg = daemon.Submit(good);
+  auto fb = daemon.Submit(bad);
+  EXPECT_TRUE(fg.get().ok);
+  const auto rb = fb.get();
+  EXPECT_FALSE(rb.ok);
+  EXPECT_EQ(rb.error, "bad_request");
+}
+
+TEST(Daemon, ShedsWithImmediateResponse) {
+  ServeDaemonOptions opts;
+  opts.batch.max_queue = 0;  // shed everything
+  ServeDaemon daemon(opts, TestSnapshot());
+  ServeRequest req;
+  req.id = "r";
+  req.words = {1};
+  const auto r = daemon.Submit(req).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "shed");
+}
+
+TEST(Daemon, DrainAnswersQueuedThenRejectsLate) {
+  ServeDaemonOptions opts;
+  opts.iterations = 5;
+  ServeDaemon daemon(opts, TestSnapshot());
+  std::vector<std::future<ServeResponse>> inflight;
+  for (int i = 0; i < 20; ++i) {
+    ServeRequest req;
+    req.id = "q" + std::to_string(i);
+    req.words = {static_cast<uint32_t>(i % 50)};
+    inflight.push_back(daemon.Submit(req));
+  }
+  daemon.Drain();
+  for (auto& f : inflight) {
+    const auto r = f.get();  // every admitted request is answered
+    EXPECT_TRUE(r.ok) << r.error;
+  }
+  ServeRequest late;
+  late.id = "late";
+  late.words = {1};
+  const auto r = daemon.Submit(late).get();
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error, "draining");
+  EXPECT_TRUE(daemon.draining());
+}
+
+TEST(Daemon, NullInitialSnapshotShedsUntilPublish) {
+  ServeDaemonOptions opts;
+  opts.batch.max_wait_ms = 1;
+  ServeDaemon daemon(opts, nullptr);
+  ServeRequest req;
+  req.id = "early";
+  req.words = {1};
+  const auto r = daemon.Submit(req).get();
+  EXPECT_FALSE(r.ok);
+
+  daemon.Publish(TestSnapshot());
+  ServeRequest req2;
+  req2.id = "after";
+  req2.words = {1};
+  EXPECT_TRUE(daemon.Submit(req2).get().ok);
+}
+
+TEST(Daemon, PublishSwapsGeneration) {
+  ServeDaemonOptions opts;
+  opts.iterations = 5;
+  ServeDaemon daemon(opts, TestSnapshot(1));
+  ServeRequest req;
+  req.id = "a";
+  req.words = {2, 3};
+  EXPECT_EQ(daemon.Submit(req).get().generation, 1u);
+
+  const auto prev = daemon.Publish(TestSnapshot(2, 8));
+  EXPECT_EQ(prev->generation(), 1u);  // returned, not destroyed
+  EXPECT_EQ(daemon.Current()->generation(), 2u);
+  ServeRequest req2;
+  req2.id = "b";
+  req2.words = {2, 3};
+  EXPECT_EQ(daemon.Submit(req2).get().generation, 2u);
+}
+
+// ------------------------------------------------------------ frontend
+
+/// Runs RunLineFrontend over pipes: `input` in, captured stdout-side out.
+std::vector<std::string> RunFrontend(ServeDaemon& daemon,
+                                     const std::string& input,
+                                     const ReloadFn& reload,
+                                     FrontendResult* result = nullptr) {
+  int in_pipe[2], out_pipe[2];
+  EXPECT_EQ(pipe(in_pipe), 0);
+  EXPECT_EQ(pipe(out_pipe), 0);
+  std::thread feeder([&] {
+    size_t off = 0;
+    while (off < input.size()) {
+      const ssize_t n =
+          write(in_pipe[1], input.data() + off, input.size() - off);
+      if (n <= 0) break;
+      off += static_cast<size_t>(n);
+    }
+    close(in_pipe[1]);
+  });
+  FrontendOptions fopts;
+  fopts.poll_interval_ms = 5;
+  const FrontendResult fr =
+      RunLineFrontend(daemon, in_pipe[0], out_pipe[1], reload, fopts);
+  if (result != nullptr) *result = fr;
+  feeder.join();
+  close(in_pipe[0]);
+  // Responses may still be in flight on the dispatch thread; drain before
+  // reading so the writer's last line is out.
+  daemon.Drain();
+  close(out_pipe[1]);
+  std::string all;
+  char buf[4096];
+  ssize_t n;
+  while ((n = read(out_pipe[0], buf, sizeof buf)) > 0) {
+    all.append(buf, static_cast<size_t>(n));
+  }
+  close(out_pipe[0]);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i] == '\n') {
+      lines.push_back(all.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+TEST(Frontend, ServesParsesAndAnswersControl) {
+  const auto snap = TestSnapshot();
+  ServeDaemonOptions opts;
+  opts.iterations = 5;
+  ServeDaemon daemon(opts, snap);
+  int reloads = 0;
+  const ReloadFn reload = [&]() -> core::SnapshotPtr {
+    ++reloads;
+    return TestSnapshot(2);
+  };
+  FrontendResult fr;
+  const auto lines = RunFrontend(daemon,
+                                 "{\"id\":\"a\",\"words\":[1,2]}\n"
+                                 "not json\n"
+                                 "{\"op\":\"reload\",\"id\":\"c\"}\n"
+                                 "{\"id\":\"b\",\"words\":[1,2]}\n"
+                                 "{\"op\":\"drain\",\"id\":\"d\"}\n",
+                                 reload, &fr);
+  EXPECT_TRUE(fr.drain_requested);
+  EXPECT_EQ(reloads, 1);
+  ASSERT_EQ(lines.size(), 5u);
+  int ok = 0, bad = 0, gen2 = 0;
+  for (const auto& l : lines) {
+    if (l.find("\"ok\":true") != std::string::npos) ++ok;
+    if (l.find("\"bad_request\"") != std::string::npos) ++bad;
+    if (l.find("\"generation\":2") != std::string::npos) ++gen2;
+  }
+  EXPECT_EQ(ok, 4);   // a, b, reload ack, drain ack
+  EXPECT_EQ(bad, 1);  // the non-JSON line
+  // The reload ack reports generation 2; request b (after the swap) must
+  // be served by it too.
+  EXPECT_GE(gen2, 2);
+}
+
+TEST(Frontend, ReloadFailureKeepsServing) {
+  ServeDaemonOptions opts;
+  opts.iterations = 5;
+  ServeDaemon daemon(opts, TestSnapshot());
+  const ReloadFn reload = []() -> core::SnapshotPtr {
+    throw Error("model file corrupted");
+  };
+  const auto lines = RunFrontend(daemon,
+                                 "{\"op\":\"reload\",\"id\":\"c\"}\n"
+                                 "{\"id\":\"a\",\"words\":[1]}\n",
+                                 reload);
+  ASSERT_EQ(lines.size(), 2u);
+  int reload_failed = 0, ok = 0;
+  for (const auto& l : lines) {
+    if (l.find("\"reload_failed\"") != std::string::npos) ++reload_failed;
+    if (l.find("\"ok\":true") != std::string::npos) ++ok;
+  }
+  EXPECT_EQ(reload_failed, 1);
+  EXPECT_EQ(ok, 1);  // the old generation keeps serving
+  EXPECT_EQ(daemon.Current()->generation(), 1u);
+}
+
+int ConnectUnixSocketForTest(const std::string& path) {
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    close(fd);
+    return -1;
+  }
+  path.copy(addr.sun_path, path.size());
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(Frontend, SocketServesConcurrentClients) {
+  const auto snap = TestSnapshot();
+  ServeDaemonOptions opts;
+  opts.iterations = 5;
+  ServeDaemon daemon(opts, snap);
+  const std::string path =
+      testing::TempDir() + "culda_serve_test_" +
+      std::to_string(static_cast<unsigned>(getpid())) + ".sock";
+  FrontendOptions fopts;
+  fopts.poll_interval_ms = 5;
+  SocketFrontend listener(daemon, path, nullptr, fopts);
+  std::thread server([&] { listener.Run(); });
+
+  auto client = [&](int id) {
+    // Tiny blocking client: connect, one request, read one line.
+    struct Result {
+      bool ok = false;
+    };
+    int fd = -1;
+    for (int attempt = 0; attempt < 100 && fd < 0; ++attempt) {
+      fd = ConnectUnixSocketForTest(path);
+      if (fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_GE(fd, 0);
+    const std::string req = "{\"id\":\"c" + std::to_string(id) +
+                            "\",\"words\":[1,2,3]}\n";
+    ASSERT_EQ(write(fd, req.data(), req.size()),
+              static_cast<ssize_t>(req.size()));
+    std::string line;
+    char c;
+    while (read(fd, &c, 1) == 1 && c != '\n') line.push_back(c);
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << line;
+    close(fd);
+  };
+  std::vector<std::thread> clients;
+  for (int i = 0; i < 3; ++i) clients.emplace_back(client, i);
+  for (auto& t : clients) t.join();
+  listener.Stop();
+  server.join();
+}
+
+}  // namespace
+}  // namespace culda::serve

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# CLI lifecycle contract, one tool binary per invocation:
+#   --help         -> usage on stdout, exit 0 (even with no other flags)
+#   --unknown-flag -> "unknown flag" + usage on stderr, exit 2
+# Wired per tool from tests/CMakeLists.txt (ToolCli.<tool>).
+set -u
+
+tool="$1"
+name=$(basename "$tool")
+fail() {
+  echo "FAIL($name): $1" >&2
+  exit 1
+}
+
+out=$("$tool" --help 2>/dev/null)
+rc=$?
+[ "$rc" -eq 0 ] || fail "--help exited $rc, want 0"
+case "$out" in
+  usage:*) ;;
+  *) fail "--help stdout does not start with 'usage:': $out" ;;
+esac
+
+err=$("$tool" --definitely-not-a-flag 2>&1 >/dev/null)
+rc=$?
+[ "$rc" -eq 2 ] || fail "unknown flag exited $rc, want 2"
+case "$err" in
+  *"unknown flag --definitely-not-a-flag"*) ;;
+  *) fail "stderr does not name the unknown flag: $err" ;;
+esac
+case "$err" in
+  *usage:*) ;;
+  *) fail "stderr does not include the usage text: $err" ;;
+esac
+
+echo "OK($name): --help and unknown-flag contracts hold"

@@ -42,6 +42,7 @@
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/signal.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
 #include "validate/invariants.hpp"
@@ -49,6 +50,34 @@
 using namespace culda;
 
 namespace {
+
+constexpr char kUsage[] =
+    R"(usage: culda_infer --model=MODEL.bin (--vocab=V.txt | --heldout-uci=PATH)
+
+With --vocab, each stdin line is tokenized (same pipeline as training) and
+its topic mixture printed. With --heldout-uci, document-completion
+perplexity over the held-out corpus is reported instead.
+
+Serving knobs (docs/serving.md):
+  --iters=N         fold-in sweeps per document (default 30)
+  --alpha=X         document prior (default 50/K)
+  --beta=X          topic prior (default 0.01)
+  --workers=N       host threads fanning documents out (0 = sequential);
+                    results are bit-identical at any worker count
+  --batch=N         stdin lines grouped per InferBatch call (default 256)
+  --sampler=MODE    sparse (default) | dense | alias-mh (docs/samplers.md)
+  --mh-cycles=N     alias-mh only: MH proposal pairs per token per sweep
+  --validate        check the loaded model's structural invariants before
+                    serving; exits 1 on corruption
+
+Observability (docs/observability.md):
+  --log-level=L     debug | info | warn | error | off;  --quiet = warn
+  --metrics-out=P   JSONL metrics per batch + summary
+  --trace-out=P     host wall-clock spans as Chrome trace JSON
+
+Exit codes: 0 success, 1 input error, 2 CLI usage error, 3 internal error,
+4 interrupted by SIGINT/SIGTERM after flushing the current batch.
+)";
 
 struct PendingDoc {
   std::vector<uint32_t> ids;
@@ -95,11 +124,41 @@ void PrintBatch(const core::InferenceEngine& engine,
 int main(int argc, char** argv) {
   try {
     const CliFlags flags(argc, argv);
+    if (flags.HelpRequested()) {
+      CliFlags::PrintUsage(stdout, kUsage);
+      return 0;
+    }
     flags.ApplyLogFlags();
+
+    // Read every flag before any semantic check, so `culda_infer --bogus`
+    // is reported as a usage error (exit 2) rather than tripping the
+    // missing---model check first (exit 1).
     const std::string model_path = flags.GetString("model", "");
+    const bool validate = flags.GetBool("validate", false);
+    const double alpha = flags.GetDouble("alpha", -1.0);
+    const double beta = flags.GetDouble("beta", 0.01);
+    const uint32_t iters =
+        static_cast<uint32_t>(flags.GetInt("iters", 30));
+    const int64_t workers_flag = flags.GetInt("workers", 0);
+    const int64_t batch_size = flags.GetInt("batch", 256);
+    const std::string sampler_name = flags.GetString("sampler", "sparse");
+    const int64_t mh_cycles = flags.GetInt("mh-cycles", 1);
+    const std::string heldout = flags.GetString("heldout-uci", "");
+    const std::string vocab_path = flags.GetString("vocab", "");
+    const std::string metrics_path = flags.GetString("metrics-out", "");
+    const std::string trace_path = flags.GetString("trace-out", "");
+    if (const int rc = flags.RejectUnknownFlags(kUsage)) return rc;
+
     CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
+    CULDA_CHECK_MSG(workers_flag >= 0 && workers_flag <= 1024,
+                    "--workers must be in [0, 1024], got " << workers_flag);
+    CULDA_CHECK_MSG(batch_size >= 1,
+                    "--batch must be >= 1, got " << batch_size);
+    CULDA_CHECK_MSG(mh_cycles >= 1 && mh_cycles <= 64,
+                    "--mh-cycles must be in [1, 64], got " << mh_cycles);
+
     const core::GatheredModel model = core::LoadModelFromFile(model_path);
-    if (flags.GetBool("validate", false)) {
+    if (validate) {
       // Beyond the container's CRC: a model that round-tripped intact can
       // still have been written from corrupted training state.
       validate::ValidateServedModel(model);
@@ -109,38 +168,15 @@ int main(int argc, char** argv) {
 
     core::CuldaConfig cfg;
     cfg.num_topics = model.num_topics;
-    cfg.alpha = flags.GetDouble("alpha", -1.0);
-    cfg.beta = flags.GetDouble("beta", 0.01);
-    const uint32_t iters =
-        static_cast<uint32_t>(flags.GetInt("iters", 30));
+    cfg.alpha = alpha;
+    cfg.beta = beta;
 
-    const int64_t workers_flag = flags.GetInt("workers", 0);
-    CULDA_CHECK_MSG(workers_flag >= 0 && workers_flag <= 1024,
-                    "--workers must be in [0, 1024], got " << workers_flag);
     ThreadPool pool(static_cast<size_t>(workers_flag));
-    const int64_t batch_size = flags.GetInt("batch", 256);
-    CULDA_CHECK_MSG(batch_size >= 1,
-                    "--batch must be >= 1, got " << batch_size);
     core::InferenceOptions options;
-    options.sampler =
-        core::ParseInferSampler(flags.GetString("sampler", "sparse"));
-    const int64_t mh_cycles = flags.GetInt("mh-cycles", 1);
-    CULDA_CHECK_MSG(mh_cycles >= 1 && mh_cycles <= 64,
-                    "--mh-cycles must be in [1, 64], got " << mh_cycles);
+    options.sampler = core::ParseInferSampler(sampler_name);
     options.mh_cycles = static_cast<uint32_t>(mh_cycles);
     if (workers_flag > 0) options.pool = &pool;
     const core::InferenceEngine engine(model, cfg, options);
-
-    const std::string heldout = flags.GetString("heldout-uci", "");
-    const std::string vocab_path = flags.GetString("vocab", "");
-    const std::string metrics_path = flags.GetString("metrics-out", "");
-    const std::string trace_path = flags.GetString("trace-out", "");
-
-    const auto unused = flags.UnusedFlags();
-    if (!unused.empty()) {
-      std::fprintf(stderr, "unknown flag --%s\n", unused.front().c_str());
-      return 2;
-    }
 
     obs::JsonlSink metrics_sink;
     if (!metrics_path.empty()) {
@@ -182,9 +218,14 @@ int main(int argc, char** argv) {
     corpus::TextPipelineOptions popts;
     popts.stopwords =
         corpus::TextPipelineOptions::DefaultEnglishStopwords();
+    // SIGINT/SIGTERM: finish the current batch boundary, flush what is
+    // pending, and exit 4 — partial output is never torn mid-line.
+    InstallShutdownHandler();
+    bool interrupted = false;
     std::string line;
     std::vector<PendingDoc> batch;
-    while (std::getline(std::cin, line)) {
+    while (!(interrupted = ShutdownRequested()) &&
+           std::getline(std::cin, line)) {
       PendingDoc doc;
       for (const auto& tok : corpus::TextPipeline::Tokenize(line, popts)) {
         const uint32_t id = vocab.Find(tok);
@@ -200,11 +241,15 @@ int main(int argc, char** argv) {
       }
     }
     if (!batch.empty()) PrintBatch(engine, batch, iters, metrics_sink);
+    if (interrupted) {
+      std::fprintf(stderr, "signal %d: flushed pending batch, exiting\n",
+                   ShutdownSignal());
+    }
     if (metrics_sink.active()) {
       metrics_sink.WriteSnapshot("infer_summary", obs::JsonObject());
     }
     write_trace();
-    return 0;
+    return interrupted ? kInterruptedExitCode : 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -17,17 +17,51 @@
 
 using namespace culda;
 
+namespace {
+
+constexpr char kUsage[] =
+    R"(usage: culda_topics --model=MODEL.bin [options]
+
+Prints the largest topics with their top words (vocabulary strings when
+--vocab is given, ids otherwise), and optionally UMass coherence against a
+reference corpus.
+
+  --model=PATH         trained model (required)
+  --vocab=PATH         vocabulary file matching the model
+  --top=N              words shown per topic (default 10)
+  --topics=N           topics shown, largest first (default 20)
+  --coherence-uci=PATH UCI corpus for UMass coherence
+  --log-level=L        debug | info | warn | error | off;  --quiet = warn
+
+Exit codes: 0 success, 1 input error, 2 CLI usage error, 3 internal error.
+)";
+
+}  // namespace
+
 int main(int argc, char** argv) {
   try {
     const CliFlags flags(argc, argv);
+    if (flags.HelpRequested()) {
+      CliFlags::PrintUsage(stdout, kUsage);
+      return 0;
+    }
     flags.ApplyLogFlags();
+
+    // All flag reads precede the required---model check so a typo exits 2
+    // (usage) instead of 1 (missing flag).
     const std::string model_path = flags.GetString("model", "");
+    const std::string vocab_path = flags.GetString("vocab", "");
+    const size_t top_n = static_cast<size_t>(flags.GetInt("top", 10));
+    const size_t show =
+        static_cast<size_t>(flags.GetInt("topics", 20));
+    const std::string coherence_uci = flags.GetString("coherence-uci", "");
+    if (const int rc = flags.RejectUnknownFlags(kUsage)) return rc;
+
     CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
     const core::GatheredModel model =
         core::LoadModelFromFile(model_path);
 
     corpus::Vocabulary vocab;
-    const std::string vocab_path = flags.GetString("vocab", "");
     if (!vocab_path.empty()) {
       std::ifstream in(vocab_path);
       CULDA_CHECK_MSG(in.good(), "cannot open vocab " << vocab_path);
@@ -40,21 +74,11 @@ int main(int argc, char** argv) {
 
     core::CuldaConfig cfg;
     cfg.num_topics = model.num_topics;
-    const size_t top_n = static_cast<size_t>(flags.GetInt("top", 10));
-    const size_t show =
-        static_cast<size_t>(flags.GetInt("topics", 20));
 
-    const std::string coherence_uci = flags.GetString("coherence-uci", "");
     corpus::Corpus reference;
     const bool with_coherence = !coherence_uci.empty();
     if (with_coherence) {
       reference = corpus::ReadUciBagOfWordsFile(coherence_uci);
-    }
-
-    const auto unused = flags.UnusedFlags();
-    if (!unused.empty()) {
-      std::fprintf(stderr, "unknown flag --%s\n", unused.front().c_str());
-      return 2;
     }
 
     std::printf("model: K=%u V=%u D=%llu, theta nnz=%zu\n\n",

@@ -4,42 +4,10 @@
 //               --device=volta --gpus=4 --out=model.bin
 //   culda_train --synthetic=pubmed --scale=0.001 --topics=256 ...
 //
-// Flags:
-//   --uci=PATH          UCI bag-of-words input (NYTimes/PubMed format)
-//   --synthetic=NAME    nytimes | pubmed profile instead of a file
-//   --scale=X           synthetic profile scale (default 0.01)
-//   --topics=K          number of topics (default 256)
-//   --alpha, --beta     hyper-parameters (defaults: 50/K, 0.01)
-//   --iters=N           training iterations (default 100)
-//   --device=NAME       titan | pascal | volta | cpu (default volta)
-//   --gpus=G            simulated GPU count (default 1)
-//   --workers=N         host worker threads running simulated GPUs and
-//                       kernel blocks in parallel (default 0 = inline;
-//                       wall-clock only, results are bit-identical)
-//   --chunks-per-gpu=M  override the automatic WS1/WS2 choice
-//   --sampler=MODE      tree (default) | alias-mh — the exact index-tree
-//                       kernel or the O(1) alias/MH tier (docs/samplers.md)
-//   --mh-cycles=N       alias-mh only: MH proposal pairs per token per
-//                       iteration (default 1)
-//   --hyperopt=N        re-estimate α/β every N iterations (default off)
-//   --out=PATH          save the trained model (atomic tmp+rename write)
-//   --checkpoint=PATH   write a checkpoint after every --checkpoint-every
-//                       iterations (atomic; previous kept as PATH.prev)
-//   --resume=PATH       restore a checkpoint before training; falls back to
-//                       PATH.prev with a warning if PATH is missing or torn
-//   --validate          check the full invariant inventory (src/validate)
-//                       after restore and after every iteration; exits 1
-//                       with the violated invariant's name on corruption.
-//                       Works in every build; a -DCULDA_VALIDATE=ON build
-//                       additionally self-checks inside each step.
-//   --log-level=L       debug | info | warn | error | off (default info)
-//   --quiet             shorthand for --log-level=warn; also suppresses the
-//                       per-iteration progress lines
-//   --metrics-out=PATH  JSONL metrics: one registry snapshot per iteration
-//                       (with the sync/transfer/θ timing split) + a summary
-//   --trace-out=PATH    one Chrome trace JSON merging host wall-clock spans
-//                       with the simulated-device timeline (open in Perfetto)
-//   --profile-json=PATH per-kernel aggregate profile as JSON
+// SIGINT/SIGTERM is cooperative: the current sweep finishes, a checkpoint
+// is written (when --checkpoint is set), and the tool exits with the
+// distinct code 4 so scripts can tell "interrupted with state saved" from
+// success (0) and real failures (1/3).
 #include <cstdio>
 #include <fstream>
 
@@ -54,12 +22,66 @@
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/signal.hpp"
 
 using namespace culda;
+
+namespace {
+
+constexpr char kUsage[] =
+    R"(usage: culda_train [--uci=PATH | --synthetic=NAME] [options]
+
+Input:
+  --uci=PATH          UCI bag-of-words input (NYTimes/PubMed format)
+  --synthetic=NAME    nytimes | pubmed profile instead of a file
+  --scale=X           synthetic profile scale (default 0.01)
+  --heldout-frac=X    hold out this document fraction for end-of-training
+                      document-completion perplexity (default 0 = off)
+
+Model / training:
+  --topics=K          number of topics (default 256)
+  --alpha=X, --beta=X hyper-parameters (defaults: 50/K, 0.01)
+  --iters=N           training iterations (default 100)
+  --seed=N            RNG seed (default 1234)
+  --device=NAME       titan | pascal | volta | cpu (default volta)
+  --gpus=G            simulated GPU count (default 1)
+  --workers=N         host worker threads (default 0 = inline; wall-clock
+                      only, results are bit-identical)
+  --chunks-per-gpu=M  override the automatic WS1/WS2 choice
+  --sampler=MODE      tree (default) | alias-mh (docs/samplers.md)
+  --mh-cycles=N       alias-mh only: MH proposal pairs per token per sweep
+  --hyperopt=N        re-estimate alpha/beta every N iterations (default off)
+
+Persistence:
+  --out=PATH          save the trained model (atomic tmp+rename write)
+  --checkpoint=PATH   checkpoint every --checkpoint-every iterations
+                      (atomic; previous kept as PATH.prev); also written at
+                      the iteration boundary after SIGINT/SIGTERM
+  --checkpoint-every=N  (default 10)
+  --resume=PATH       restore a checkpoint before training; falls back to
+                      PATH.prev with a warning if PATH is missing or torn
+  --validate          check the invariant inventory after restore and after
+                      every iteration; exits 1 on corruption
+
+Observability (docs/observability.md):
+  --log-level=L       debug | info | warn | error | off;  --quiet = warn
+  --metrics-out=PATH  JSONL metrics per iteration + summary
+  --trace-out=PATH    merged Chrome trace JSON (open in Perfetto)
+  --profile-json=PATH per-kernel aggregate profile as JSON
+
+Exit codes: 0 success, 1 input error, 2 CLI usage error, 3 internal error,
+4 interrupted by SIGINT/SIGTERM after finishing a sweep (state saved).
+)";
+
+}  // namespace
 
 int main(int argc, char** argv) {
   try {
     const CliFlags flags(argc, argv);
+    if (flags.HelpRequested()) {
+      CliFlags::PrintUsage(stdout, kUsage);
+      return 0;
+    }
     const LogLevel log_level = flags.ApplyLogFlags();
 
     corpus::Corpus corpus = [&] {
@@ -125,11 +147,7 @@ int main(int argc, char** argv) {
     const std::string trace_path = flags.GetString("trace-out", "");
     const std::string profile_path = flags.GetString("profile-json", "");
 
-    const auto unused = flags.UnusedFlags();
-    if (!unused.empty()) {
-      std::fprintf(stderr, "unknown flag --%s\n", unused.front().c_str());
-      return 2;
-    }
+    if (const int rc = flags.RejectUnknownFlags(kUsage)) return rc;
 
     // Observation-only: enabling these changes no numeric result
     // (Obs.BitIdentity* pins that), so flipping them on is always safe.
@@ -159,6 +177,10 @@ int main(int argc, char** argv) {
                 trainer.chunks_per_gpu() == 1 ? "WorkSchedule1"
                                               : "WorkSchedule2");
 
+    // Cooperative shutdown: the handler only sets a flag; we check it at
+    // iteration boundaries so a sweep is never torn mid-update.
+    InstallShutdownHandler();
+    bool interrupted = false;
     double sim_total = 0;
     double wall_total = 0;
     for (int i = 0; i < iters; ++i) {
@@ -190,21 +212,36 @@ int main(int argc, char** argv) {
             .Add("theta_nnz", st.theta_nnz);
         metrics_sink.WriteSnapshot("train_iteration", std::move(fields));
       }
+      if (ShutdownRequested()) {
+        interrupted = true;
+        std::fprintf(stderr,
+                     "signal %d: stopping after iteration %u (sweep "
+                     "completed)\n",
+                     ShutdownSignal(), trainer.iteration());
+        if (!ckpt_path.empty()) {
+          trainer.SaveCheckpointToFile(ckpt_path);
+          std::fprintf(stderr, "checkpoint written to %s\n",
+                       ckpt_path.c_str());
+        }
+        break;
+      }
       if (!ckpt_path.empty() && (i + 1) % ckpt_every == 0) {
         // Atomic write + rotation: the previous checkpoint survives as
         // `ckpt_path`.prev until the new one is fully on disk.
         trainer.SaveCheckpointToFile(ckpt_path);
       }
     }
-    std::printf(
-        "done: %d iterations, %.3f simulated seconds, %.3f wall seconds "
-        "(%zu workers, %.2f Mtok/s wall)\n",
-        iters, sim_total, wall_total, workers,
-        wall_total > 0 ? static_cast<double>(trainer.num_tokens()) * iters /
-                             wall_total / 1e6
-                       : 0.0);
+    if (!interrupted) {
+      std::printf(
+          "done: %d iterations, %.3f simulated seconds, %.3f wall seconds "
+          "(%zu workers, %.2f Mtok/s wall)\n",
+          iters, sim_total, wall_total, workers,
+          wall_total > 0 ? static_cast<double>(trainer.num_tokens()) *
+                               iters / wall_total / 1e6
+                         : 0.0);
+    }
 
-    if (heldout_frac > 0) {
+    if (!interrupted && heldout_frac > 0) {
       // The engine keeps a pointer into the gathered model, so it must
       // outlive the perplexity call below.
       const auto served = trainer.Gather();
@@ -214,7 +251,7 @@ int main(int argc, char** argv) {
       std::printf("held-out document-completion perplexity: %.3f\n",
                   engine.DocumentCompletionPerplexity(heldout));
     }
-    if (!out_path.empty()) {
+    if (!interrupted && !out_path.empty()) {
       const auto model = trainer.Gather();
       model.Validate(corpus);
       core::SaveModelToFile(model, out_path);
@@ -246,7 +283,7 @@ int main(int argc, char** argv) {
       gpusim::WriteProfileJson(trainer.group(), profile_out);
       std::printf("profile written to %s\n", profile_path.c_str());
     }
-    return 0;
+    return interrupted ? kInterruptedExitCode : 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -1,0 +1,122 @@
+#!/usr/bin/env sh
+# End-to-end smoke for the serving daemon (docs/serving.md "Daemon"):
+#
+#   1. train a tiny model;
+#   2. run the same request stream (with a mid-stream {"op":"reload"}
+#      hot-swap) through `culda_serve --oneshot` (direct InferBatch, the
+#      reference) and through the real coalescing daemon;
+#   3. require the responses to be byte-identical after sorting by id and
+#      normalizing the generation tag (reload re-reads the same file, so
+#      only the generation number may differ — a request that crosses the
+#      swap boundary must still produce identical bytes);
+#   4. require the swap to have actually happened (a generation-2 ack) and
+#      the daemon to have genuinely coalesced (batches < requests);
+#   5. require SIGTERM to drain gracefully: every admitted request is
+#      answered and the exit code is 0.
+#
+# Usage: serve_smoke.sh <build-dir-with-tools>
+set -eu
+
+bindir="$1"
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+fail() {
+  echo "SMOKE FAIL: $1" >&2
+  exit 1
+}
+
+echo "== training tiny model"
+"$bindir/culda_train" --synthetic=nytimes --scale=0.0005 --topics=16 \
+  --iters=5 --seed=7 --out="$work/model.bin" --quiet \
+  || fail "training exited $?"
+
+echo "== generating request stream (40 requests + mid-stream reload)"
+i=0
+while [ $i -lt 40 ]; do
+  if [ $i -eq 20 ]; then
+    printf '{"op":"reload","id":"swap"}\n'
+  fi
+  printf '{"id":"r%02d","words":[%d,%d,%d],"seed":%d}\n' \
+    "$i" "$((i % 90))" "$(((i * 7 + 3) % 90))" "$((i % 13))" "$((i + 1))"
+  i=$((i + 1))
+done > "$work/requests.jsonl"
+
+# The generation differs between pre- and post-swap responses (and the
+# daemon may serve a queued pre-swap request from the post-swap snapshot);
+# since reload re-reads the same model file the payload must be identical
+# either way, so the tag is normalized out before the diff.
+normalize() {
+  sed 's/"generation":[0-9]*/"generation":G/' "$1" | sort
+}
+
+echo "== reference run (--oneshot, direct InferBatch)"
+"$bindir/culda_serve" --model="$work/model.bin" --iters=10 --oneshot \
+  --quiet < "$work/requests.jsonl" > "$work/oneshot.out" \
+  || fail "oneshot run exited $?"
+
+echo "== daemon run (coalescing + hot swap)"
+# --metrics-out enables the registry, so the {"op":"stats"} payload carries
+# the serve.* counters the coalescing check below reads.
+{ cat "$work/requests.jsonl"; printf '{"op":"stats","id":"st"}\n'; } |
+  "$bindir/culda_serve" --model="$work/model.bin" --iters=10 \
+    --max-batch=8 --max-wait-ms=50 --metrics-out="$work/metrics.jsonl" \
+    --quiet > "$work/daemon.out" \
+  || fail "daemon run exited $?"
+
+grep -v '"id":"st"' "$work/daemon.out" > "$work/daemon.responses"
+normalize "$work/oneshot.out" > "$work/oneshot.sorted"
+normalize "$work/daemon.responses" > "$work/daemon.sorted"
+diff -u "$work/oneshot.sorted" "$work/daemon.sorted" \
+  || fail "daemon responses are not bit-identical to direct InferBatch"
+
+grep -q '"id":"swap","ok":true,"op":"reload","generation":2' \
+  "$work/daemon.out" || fail "hot swap to generation 2 never acknowledged"
+
+# The {"op":"stats"} ack must carry a live registry payload...
+grep -q '"id":"st","ok":true,"op":"stats".*"payload":{.*"serve\.requests"' \
+  "$work/daemon.out" || fail "stats ack lacks a metrics payload"
+
+# ...but the coalescing proof reads the exit-time summary (written after
+# the drain, so every batch is counted — the mid-stream stats ack races
+# with the dispatcher): strictly fewer batches than requests (40 requests
+# at max-batch 8 / 50 ms budget must coalesce).
+summary=$(grep '"kind":"serve_summary"' "$work/metrics.jsonl") \
+  || fail "serve_summary line missing from metrics.jsonl"
+batches=$(printf '%s' "$summary" |
+  sed -n 's/.*"serve\.batches":{"type":"counter","value":\([0-9]*\).*/\1/p')
+requests=$(printf '%s' "$summary" |
+  sed -n 's/.*"serve\.requests":{"type":"counter","value":\([0-9]*\).*/\1/p')
+[ -n "$batches" ] && [ -n "$requests" ] \
+  || fail "stats payload lacks serve.batches/serve.requests: $stats"
+[ "$requests" -eq 40 ] || fail "daemon admitted $requests requests, want 40"
+[ "$batches" -lt "$requests" ] \
+  || fail "no coalescing: $batches batches for $requests requests"
+echo "   coalesced $requests requests into $batches batches"
+
+echo "== SIGTERM drain"
+# Requests are parked in the queue (60 s latency budget, batch larger than
+# the request count) when SIGTERM lands, so the graceful path must flush
+# them: all answered, exit 0.
+fifo="$work/in.fifo"
+mkfifo "$fifo"
+"$bindir/culda_serve" --model="$work/model.bin" --iters=10 \
+  --max-batch=64 --max-wait-ms=60000 --quiet \
+  < "$fifo" > "$work/drain.out" &
+daemon_pid=$!
+exec 3>"$fifo"  # hold the fifo open so the daemon never sees EOF
+i=0
+while [ $i -lt 5 ]; do
+  printf '{"id":"d%d","words":[%d,2,3],"seed":5}\n' "$i" "$i" >&3
+  i=$((i + 1))
+done
+sleep 1  # let the frontend admit the lines
+kill -TERM "$daemon_pid"
+rc=0
+wait "$daemon_pid" || rc=$?
+exec 3>&-
+[ "$rc" -eq 0 ] || fail "SIGTERM drain exited $rc, want 0"
+answered=$(grep -c '"ok":true' "$work/drain.out") || true
+[ "$answered" -eq 5 ] \
+  || fail "SIGTERM drain answered $answered of 5 queued requests"
+
+echo "SMOKE OK: bit-identity, hot swap, coalescing, graceful drain"
