@@ -44,6 +44,75 @@ InferenceEngine::InferenceEngine(const GatheredModel& model, CuldaConfig cfg,
       }
     }
   }
+
+  primary_tables_.phi = model_->phi.flat().data();
+  primary_tables_.col_ptr = col_ptr_.data();
+  primary_tables_.col_topic = col_topic_.data();
+  primary_tables_.col_prefix = col_prefix_.data();
+  primary_tables_.word_mass = word_mass_.data();
+  primary_tables_.mh_word_mass = mh_word_mass_.data();
+  primary_tables_.mh_prob = mh_prob_.data();
+  primary_tables_.mh_alias = mh_alias_.data();
+  primary_tables_.beta_alias = &beta_alias_;
+  primary_tables_.alpha_alias = &alpha_alias_;
+  primary_tables_.phi_t = phi_t_.data();
+  primary_tables_.smooth_tree = smooth_tree_;
+  BuildReplicas();
+}
+
+void InferenceEngine::BuildReplicas() {
+  ThreadPool* pool = options_.pool;
+  if (!options_.numa_replicate || pool == nullptr ||
+      pool->socket_count() <= 1) {
+    return;
+  }
+  replicas_.resize(pool->socket_count());
+  // Each socket's copy is made by (one of) its own workers, so the vector
+  // pages are first-touched — and with pinned workers, physically placed —
+  // on that socket's NUMA node. Socket 0 keeps reading the primary tables,
+  // which this builder thread already touched.
+  pool->ForEachSocket([&](size_t s) {
+    if (s == 0) return;
+    auto rep = std::make_unique<Replica>();
+    const auto phi_flat = model_->phi.flat();
+    rep->phi.assign(phi_flat.begin(), phi_flat.end());
+    rep->col_ptr = col_ptr_;
+    rep->col_topic = col_topic_;
+    rep->col_prefix = col_prefix_;
+    rep->word_mass = word_mass_;
+    rep->mh_word_mass = mh_word_mass_;
+    rep->mh_prob = mh_prob_;
+    rep->mh_alias = mh_alias_;
+    rep->beta_alias = beta_alias_;
+    rep->alpha_alias = alpha_alias_;
+    rep->phi_t = phi_t_;
+    rep->smooth_storage = smooth_storage_;
+
+    Tables& t = rep->tables;
+    t.phi = rep->phi.data();
+    t.col_ptr = rep->col_ptr.data();
+    t.col_topic = rep->col_topic.data();
+    t.col_prefix = rep->col_prefix.data();
+    t.word_mass = rep->word_mass.data();
+    t.mh_word_mass = rep->mh_word_mass.data();
+    t.mh_prob = rep->mh_prob.data();
+    t.mh_alias = rep->mh_alias.data();
+    t.beta_alias = &rep->beta_alias;
+    t.alpha_alias = &rep->alpha_alias;
+    t.phi_t = rep->phi_t.data();
+    // Binding a view computes level offsets only — the copied storage
+    // already holds the built tree values.
+    t.smooth_tree = IndexTreeView(rep->smooth_storage, model_->num_topics,
+                                  cfg_.tree_fanout);
+    replicas_[s] = std::move(rep);
+  });
+}
+
+const InferenceEngine::Tables& InferenceEngine::CurrentTables() const {
+  if (replicas_.empty()) return primary_tables_;
+  const Replica* rep =
+      replicas_[static_cast<size_t>(options_.pool->current_socket())].get();
+  return rep != nullptr ? rep->tables : primary_tables_;
 }
 
 void InferenceEngine::BuildSmoothingTree() {
@@ -205,17 +274,18 @@ inline void DecCount(std::vector<int32_t>& count, std::vector<uint32_t>& nz,
 }  // namespace
 
 void InferenceEngine::BucketMasses(uint32_t word, const Scratch& s,
-                                   double* q, double* w) const {
+                                   const Tables& t, double* q,
+                                   double* w) const {
   if (options_.sampler != InferSampler::kDenseReference) {
     // Sparse bucket mode — and kAliasMH scoring, which uses the same exact
     // masses (MH changes how assignments are *sampled*, not how they are
     // scored).
     double acc = 0;
     for (const uint32_t k : s.nz) {
-      acc += DocTerm(k, s.count[k], model_->phi(k, word));
+      acc += DocTerm(k, s.count[k], PhiAt(t, k, word));
     }
     *q = acc;
-    *w = word_mass_[word];
+    *w = t.word_mass[word];
     return;
   }
   // Dense reference: one full pass down the contiguous φ-transpose column,
@@ -224,7 +294,7 @@ void InferenceEngine::BucketMasses(uint32_t word, const Scratch& s,
   // zero runs of either cursor cannot change a bit.
   double q_acc = 0, w_acc = 0;
   const size_t k_topics = model_->num_topics;
-  const uint16_t* col = phi_t_.data() + static_cast<size_t>(word) * k_topics;
+  const uint16_t* col = t.phi_t + static_cast<size_t>(word) * k_topics;
   const int32_t* cnt = s.count.data();
   size_t kc = simd::NextNonZeroI32(cnt, k_topics, 0);
   size_t kf = simd::NextNonZeroU16(col, k_topics, 0);
@@ -246,7 +316,8 @@ void InferenceEngine::BucketMasses(uint32_t word, const Scratch& s,
 }
 
 uint32_t InferenceEngine::SampleTopic(uint32_t word, double q, double w,
-                                      double u, const Scratch& s) const {
+                                      double u, const Scratch& s,
+                                      const Tables& t) const {
   const bool sparse = options_.sampler != InferSampler::kDenseReference;
   if (u < q) {
     // Doc bucket: rescan the same DocTerm sequence until the running prefix
@@ -256,14 +327,13 @@ uint32_t InferenceEngine::SampleTopic(uint32_t word, double q, double w,
     double acc = 0;
     if (sparse) {
       for (const uint32_t k : s.nz) {
-        acc += DocTerm(k, s.count[k], model_->phi(k, word));
+        acc += DocTerm(k, s.count[k], PhiAt(t, k, word));
         if (acc > u) return k;
       }
       return s.nz.back();
     }
     const size_t k_topics = model_->num_topics;
-    const uint16_t* col =
-        phi_t_.data() + static_cast<size_t>(word) * k_topics;
+    const uint16_t* col = t.phi_t + static_cast<size_t>(word) * k_topics;
     const int32_t* cnt = s.count.data();
     uint32_t last = 0;
     for (size_t k = simd::NextNonZeroI32(cnt, k_topics, 0); k < k_topics;
@@ -280,17 +350,16 @@ uint32_t InferenceEngine::SampleTopic(uint32_t word, double q, double w,
     // prefix; the dense mode rescans the same WordTerm sequence linearly —
     // the prefix values are bitwise the same, so both find the same topic.
     if (sparse) {
-      const uint64_t begin = col_ptr_[word];
-      const uint64_t len = col_ptr_[word + 1] - begin;
-      const std::span<const double> prefix(col_prefix_.data() + begin, len);
+      const uint64_t begin = t.col_ptr[word];
+      const uint64_t len = t.col_ptr[word + 1] - begin;
+      const std::span<const double> prefix(t.col_prefix + begin, len);
       const size_t j = static_cast<size_t>(
           std::upper_bound(prefix.begin(), prefix.end(), uw) -
           prefix.begin());
-      return col_topic_[begin + std::min(j, static_cast<size_t>(len - 1))];
+      return t.col_topic[begin + std::min(j, static_cast<size_t>(len - 1))];
     }
     const size_t k_topics = model_->num_topics;
-    const uint16_t* col =
-        phi_t_.data() + static_cast<size_t>(word) * k_topics;
+    const uint16_t* col = t.phi_t + static_cast<size_t>(word) * k_topics;
     double acc = 0;
     uint32_t last = 0;
     for (size_t k = simd::NextNonZeroU16(col, k_topics, 0); k < k_topics;
@@ -304,7 +373,7 @@ uint32_t InferenceEngine::SampleTopic(uint32_t word, double q, double w,
   // Smoothing bucket: the prebuilt F-ary tree over the cached p*(k) terms
   // (shared by both modes; Search clamps float round-off to K-1).
   const double us = uw - w;
-  return static_cast<uint32_t>(smooth_tree_.Search(static_cast<float>(us)));
+  return static_cast<uint32_t>(t.smooth_tree.Search(static_cast<float>(us)));
 }
 
 void InferenceEngine::FoldIn(std::span<const uint32_t> words,
@@ -327,6 +396,9 @@ void InferenceEngine::FoldIn(std::span<const uint32_t> words,
   // Pinned by Inference.PinnedSamplingSequence.
   PhiloxStream rng(seed, 0);
   s.z.resize(words.size());
+  // Resolved once per document: the socket a document runs on is fixed for
+  // its whole fold-in (ThreadPool shard bodies never migrate mid-shard).
+  const Tables& t = CurrentTables();
 
   if (options_.sampler == InferSampler::kAliasMH) {
     // The MH path keeps only the dense counts hot during sweeps, logging
@@ -339,7 +411,7 @@ void InferenceEngine::FoldIn(std::span<const uint32_t> words,
       s.z[i] = static_cast<uint16_t>(k);
       if (s.count[k]++ == 0) s.touched.push_back(k);
     }
-    FoldInMh(words, iterations, rng, s);
+    FoldInMh(words, iterations, rng, s, t);
     std::sort(s.touched.begin(), s.touched.end());
     for (const uint32_t k : s.touched) {
       if (s.count[k] > 0 && (s.nz.empty() || s.nz.back() != k)) {
@@ -359,9 +431,9 @@ void InferenceEngine::FoldIn(std::span<const uint32_t> words,
       const uint32_t v = words[i];
       DecCount(s.count, s.nz, s.z[i]);
       double q, w;
-      BucketMasses(v, s, &q, &w);
+      BucketMasses(v, s, t, &q, &w);
       const double u = rng.NextDouble() * ((q + w) + smooth_mass_);
-      const uint32_t k = SampleTopic(v, q, w, u, s);
+      const uint32_t k = SampleTopic(v, q, w, u, s, t);
       s.z[i] = static_cast<uint16_t>(k);
       IncCount(s.count, s.nz, k);
     }
@@ -370,7 +442,7 @@ void InferenceEngine::FoldIn(std::span<const uint32_t> words,
 
 void InferenceEngine::FoldInMh(std::span<const uint32_t> words,
                                uint32_t iterations, PhiloxStream& rng,
-                               Scratch& s) const {
+                               Scratch& s, const Tables& t) const {
   const uint32_t k_topics = model_->num_topics;
   const size_t len = words.size();
   // Doc-proposal mixture mass: the len−1 *other* tokens plus the α prior.
@@ -393,11 +465,11 @@ void InferenceEngine::FoldInMh(std::span<const uint32_t> words,
       uint32_t cur = s.z[i];
       --s.count[cur];  // token i excluded for the whole proposal chain
 
-      const uint64_t begin = col_ptr_[v];
-      const uint64_t clen = col_ptr_[v + 1] - begin;
-      const std::span<const float> cprob(mh_prob_.data() + begin, clen);
-      const std::span<const uint16_t> calias(mh_alias_.data() + begin, clen);
-      const double mv = mh_word_mass_[v];
+      const uint64_t begin = t.col_ptr[v];
+      const uint64_t clen = t.col_ptr[v + 1] - begin;
+      const std::span<const float> cprob(t.mh_prob + begin, clen);
+      const std::span<const uint16_t> calias(t.mh_alias + begin, clen);
+      const double mv = t.mh_word_mass[v];
       const double wmass = mv + beta_mass_;
       // Word-likelihood term of the current topic, kept across the proposal
       // chain so a rejected proposal costs one φ lookup, not two. Coins and
@@ -405,7 +477,7 @@ void InferenceEngine::FoldInMh(std::span<const uint32_t> words,
       // is a no-op either way); like NextBelow's 2^-32 mapping bias, the
       // 2^-24 granularity is far below sampling noise.
       double cur_term =
-          (static_cast<double>(model_->phi(cur, v)) + beta) * inv_denom_[cur];
+          (static_cast<double>(PhiAt(t, cur, v)) + beta) * inv_denom_[cur];
 
       for (uint32_t cycle = 0; cycle < options_.mh_cycles; ++cycle) {
         // Doc proposal q_d(k) ∝ n_dk^{¬i} + α_k: pick another token's
@@ -421,14 +493,14 @@ void InferenceEngine::FoldInMh(std::span<const uint32_t> words,
             if (j >= i) ++j;  // uniform over the len−1 tokens ≠ i
             prop = s.z[j];
           } else if (asym) {
-            prop = alpha_alias_.Sample(rng.NextBelow(k_topics),
-                                       rng.NextFloat());
+            prop = t.alpha_alias->Sample(rng.NextBelow(k_topics),
+                                         rng.NextFloat());
           } else {
             prop = rng.NextBelow(k_topics);
           }
           if (prop != cur) {
             const double num =
-                (static_cast<double>(model_->phi(prop, v)) + beta) *
+                (static_cast<double>(PhiAt(t, prop, v)) + beta) *
                 inv_denom_[prop];
             if (static_cast<double>(rng.NextFloat()) * cur_term < num) {
               cur = prop;
@@ -443,14 +515,14 @@ void InferenceEngine::FoldInMh(std::span<const uint32_t> words,
           uint32_t prop;
           const double pick = static_cast<double>(rng.NextFloat()) * wmass;
           if (pick < mv) {
-            prop = col_topic_[begin + SampleAlias(cprob, calias,
-                                                  rng.NextBelow(
-                                                      static_cast<uint32_t>(
-                                                          clen)),
-                                                  rng.NextFloat())];
+            prop = t.col_topic[begin + SampleAlias(cprob, calias,
+                                                   rng.NextBelow(
+                                                       static_cast<uint32_t>(
+                                                           clen)),
+                                                   rng.NextFloat())];
           } else {
-            prop = beta_alias_.Sample(rng.NextBelow(k_topics),
-                                      rng.NextFloat());
+            prop = t.beta_alias->Sample(rng.NextBelow(k_topics),
+                                        rng.NextFloat());
           }
           if (prop != cur) {
             const double num =
@@ -459,7 +531,7 @@ void InferenceEngine::FoldInMh(std::span<const uint32_t> words,
                 static_cast<double>(s.count[cur]) + alpha_at(cur);
             if (static_cast<double>(rng.NextFloat()) * den < num) {
               cur = prop;
-              cur_term = (static_cast<double>(model_->phi(cur, v)) + beta) *
+              cur_term = (static_cast<double>(PhiAt(t, cur, v)) + beta) *
                          inv_denom_[cur];
             }
           }
@@ -566,11 +638,12 @@ double InferenceEngine::DocumentCompletionPerplexity(
         scratch[pool != nullptr ? pool->current_worker_id() + 1 : 0];
     const size_t half = tokens.size() / 2;
     FoldIn(tokens.subspan(0, half), iterations, seed + d, s);
+    const Tables& t = CurrentTables();
     const double denom = static_cast<double>(half) + cfg_.AlphaSum();
     double log_prob = 0;
     for (size_t i = half; i < tokens.size(); ++i) {
       double q, w;
-      BucketMasses(tokens[i], s, &q, &w);
+      BucketMasses(tokens[i], s, t, &q, &w);
       // p(w | θ̂_d, φ̂) = (Q + W + S) / (half + Σα) — the same bucket sums
       // as sampling, so dense and sparse scoring agree bitwise too.
       log_prob += std::log(((q + w) + smooth_mass_) / denom);

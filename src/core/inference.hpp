@@ -53,6 +53,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -99,6 +100,15 @@ struct InferenceOptions {
   /// documents are independent (one Philox stream each) and reductions run
   /// in document order.
   ThreadPool* pool = nullptr;
+  /// Replicate the read-mostly sampling state — φ, the CSC transpose,
+  /// alias tables, the smoothing tree — once per socket domain of `pool`,
+  /// each copy built (first-touched) on a worker of its own socket so hot
+  /// φ reads stay node-local (docs/parallelism.md). The replicas are exact
+  /// copies, so assignments and perplexities are bit-identical to the
+  /// shared-table mode. No-op without a pool or on single-socket topologies
+  /// (socket_count() == 1); hot-swap rebuilds come free because every
+  /// ModelSnapshot generation constructs a fresh engine.
+  bool numa_replicate = false;
 };
 
 class InferenceEngine {
@@ -169,6 +179,51 @@ class InferenceEngine {
     std::vector<uint32_t> touched; ///< MH only: topics ever incremented
   };
 
+  /// One socket's view of every read-mostly table the per-token hot path
+  /// touches. The primary view (primary_tables_) points into the engine's
+  /// own members and the model's φ; replica views point into per-socket
+  /// copies. Hot functions take a Tables& so the *same code* runs against
+  /// either — bit-identity between shared and replicated mode is structural,
+  /// not re-proved per call site.
+  struct Tables {
+    const uint16_t* phi = nullptr;  ///< row-major K×V (stride = vocab_size)
+    const uint64_t* col_ptr = nullptr;
+    const uint16_t* col_topic = nullptr;
+    const double* col_prefix = nullptr;
+    const double* word_mass = nullptr;
+    const double* mh_word_mass = nullptr;
+    const float* mh_prob = nullptr;
+    const uint16_t* mh_alias = nullptr;
+    const AliasTable* beta_alias = nullptr;
+    const AliasTable* alpha_alias = nullptr;
+    const uint16_t* phi_t = nullptr;
+    IndexTreeView smooth_tree;
+  };
+
+  /// One socket's private copy of the read-mostly state (numa_replicate).
+  /// Vectors are copy-assigned on a worker homed on the owning socket, so
+  /// their pages are first-touched — and with pinned workers, placed — on
+  /// that socket's node.
+  struct Replica {
+    std::vector<uint16_t> phi;
+    std::vector<uint64_t> col_ptr;
+    std::vector<uint16_t> col_topic;
+    std::vector<double> col_prefix;
+    std::vector<double> word_mass;
+    std::vector<double> mh_word_mass;
+    std::vector<float> mh_prob;
+    std::vector<uint16_t> mh_alias;
+    AliasTable beta_alias;
+    AliasTable alpha_alias;
+    std::vector<uint16_t> phi_t;
+    std::vector<float> smooth_storage;
+    Tables tables;
+  };
+
+  uint16_t PhiAt(const Tables& t, uint32_t k, uint32_t v) const {
+    return t.phi[static_cast<size_t>(k) * model_->vocab_size + v];
+  }
+
   // Shared term definitions — the bucket masses and their in-bucket
   // prefixes are sums of exactly these expressions in ascending-k order in
   // every code path, which is what makes the two sampler modes bit-equal.
@@ -183,22 +238,28 @@ class InferenceEngine {
   void BuildSmoothingTree();
   void BuildWordColumns();
   void BuildAliasTables();
+  /// Builds per-socket Replica copies (numa_replicate; no-op otherwise).
+  void BuildReplicas();
+  /// The table view the calling thread should read: its socket's replica
+  /// when replicas exist, the primary otherwise (and always for socket 0).
+  const Tables& CurrentTables() const;
 
   /// Runs the fold-in sweeps for one document into `s` (counts, nz list,
-  /// assignments). `words` must all be in-vocabulary (checked).
+  /// assignments). `words` must all be in-vocabulary (checked). Reads the
+  /// calling thread's CurrentTables().
   void FoldIn(std::span<const uint32_t> words, uint32_t iterations,
               uint64_t seed, Scratch& s) const;
   /// The kAliasMH fold-in body (same contract as the exact body above;
   /// called by FoldIn after the shared init).
   void FoldInMh(std::span<const uint32_t> words, uint32_t iterations,
-                PhiloxStream& rng, Scratch& s) const;
+                PhiloxStream& rng, Scratch& s, const Tables& t) const;
   /// One conditional draw: picks the bucket from `u` ∈ [0, q+w+S) and the
   /// topic within it. `q`/`w` must be this token's bucket masses.
   uint32_t SampleTopic(uint32_t word, double q, double w, double u,
-                       const Scratch& s) const;
+                       const Scratch& s, const Tables& t) const;
   /// Q and W masses for (document state, word) under the configured mode.
-  void BucketMasses(uint32_t word, const Scratch& s, double* q,
-                    double* w) const;
+  void BucketMasses(uint32_t word, const Scratch& s, const Tables& t,
+                    double* q, double* w) const;
   void EnsureScratch(Scratch& s) const;
   InferenceResult ResultFromScratch(std::span<const uint32_t> words,
                                     const Scratch& s) const;
@@ -244,6 +305,13 @@ class InferenceEngine {
   // the O(K) column scans run over adjacent memory and the SIMD zero-run
   // skip applies. Same values read in the same order — bit-identical.
   std::vector<uint16_t> phi_t_;
+
+  // The primary table view (points into the members above + model φ), and
+  // the optional per-socket copies. replicas_ is either empty (shared mode /
+  // single-socket) or sized pool->socket_count() with entry 0 null — socket
+  // 0 reads the primary, which the builder thread first-touched.
+  Tables primary_tables_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
 };
 
 }  // namespace culda::core

@@ -22,6 +22,7 @@ SnapshotPtr OnlineTrainer::EnsureSnapshotLocked() {
     CULDA_OBS_COUNT("online.engine_rebuilds", 1);
     InferenceOptions options;
     options.pool = opts_.pool;
+    options.numa_replicate = opts_.numa_replicate;
     // The trainer's sampler tier carries over to serving: an alias/MH
     // trainer serves through the alias/MH fold-in (serving's own mh_cycles
     // default; its chain mixes over the fold-in sweeps).

@@ -27,6 +27,11 @@ std::shared_ptr<const ModelSnapshot> ModelSnapshot::FromModel(
 SnapshotPtr SnapshotFromTrainer(const CuldaTrainer& trainer,
                                 InferenceOptions options,
                                 uint64_t generation) {
+  // The trainer's replication policy carries over to the serving engine
+  // (meaningful only when the caller also supplies a pool; the trainer's
+  // own pool is deliberately NOT inherited — a snapshot may outlive it).
+  options.numa_replicate =
+      options.numa_replicate || trainer.options().numa_replicate;
   return ModelSnapshot::FromModel(trainer.Gather(), trainer.config(),
                                   options, generation);
 }

@@ -118,17 +118,34 @@ double UMassCoherence(const GatheredModel& model, const CuldaConfig& cfg,
 }
 
 double AverageCoherence(const GatheredModel& model, const CuldaConfig& cfg,
-                        const corpus::Corpus& reference, size_t top_n) {
-  double sum = 0;
-  uint32_t counted = 0;
-  for (uint32_t k = 0; k < model.num_topics; ++k) {
+                        const corpus::Corpus& reference, size_t top_n,
+                        ThreadPool* pool) {
+  // Per-topic partials reduced in ascending-topic order below: the mean is
+  // bit-identical whether topics are scored sequentially or on any number
+  // of workers.
+  std::vector<double> partial(model.num_topics, 0.0);
+  std::vector<uint8_t> counted(model.num_topics, 0);
+  const auto body = [&](size_t k) {
     if (model.nk[k] > 0) {
-      sum += UMassCoherence(model, cfg, reference, k, top_n);
-      ++counted;
+      partial[k] =
+          UMassCoherence(model, cfg, reference, static_cast<uint32_t>(k),
+                         top_n);
+      counted[k] = 1;
     }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(model.num_topics, body);
+  } else {
+    for (uint32_t k = 0; k < model.num_topics; ++k) body(k);
   }
-  CULDA_CHECK_MSG(counted > 0, "model has no populated topics");
-  return sum / counted;
+  double sum = 0;
+  uint32_t populated = 0;
+  for (uint32_t k = 0; k < model.num_topics; ++k) {
+    sum += partial[k];
+    populated += counted[k];
+  }
+  CULDA_CHECK_MSG(populated > 0, "model has no populated topics");
+  return sum / populated;
 }
 
 }  // namespace culda::core

@@ -12,6 +12,7 @@
 #include "core/config.hpp"
 #include "core/model.hpp"
 #include "corpus/corpus.hpp"
+#include "util/thread_pool.hpp"
 
 namespace culda::core {
 
@@ -49,8 +50,12 @@ double UMassCoherence(const GatheredModel& model, const CuldaConfig& cfg,
                       const corpus::Corpus& reference, uint32_t k,
                       size_t top_n);
 
-/// Mean UMass coherence across all topics with n_k > 0.
+/// Mean UMass coherence across all topics with n_k > 0. Topics fan out
+/// over `pool` when given (each UMassCoherence is an independent corpus
+/// scan); per-topic values are reduced in ascending-topic order, so the
+/// result is bit-identical at any worker count (and with no pool at all).
 double AverageCoherence(const GatheredModel& model, const CuldaConfig& cfg,
-                        const corpus::Corpus& reference, size_t top_n);
+                        const corpus::Corpus& reference, size_t top_n,
+                        ThreadPool* pool = nullptr);
 
 }  // namespace culda::core

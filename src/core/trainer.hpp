@@ -70,6 +70,12 @@ struct TrainerOptions {
   /// exist otherwise — hence the default: on exactly when they are
   /// compiled. ValidateState() below works in every build regardless.
   bool validate = culda::validate::kHooksCompiled;
+  /// Replicate read-mostly inference state per socket domain of `pool` in
+  /// the engines built over this trainer's gathered φ (held-out scoring,
+  /// SnapshotFromTrainer); see InferenceOptions::numa_replicate. Exact
+  /// copies — every result stays bit-identical. No-op on single-socket
+  /// topologies.
+  bool numa_replicate = false;
 };
 
 /// Timing record of one training iteration, in simulated seconds. The
@@ -109,6 +115,7 @@ class CuldaTrainer {
   }
   uint64_t num_tokens() const { return corpus_->num_tokens(); }
   const CuldaConfig& config() const { return cfg_; }
+  const TrainerOptions& options() const { return opts_; }
   gpusim::DeviceGroup& group() { return group_; }
 
   /// Runs one full training iteration (sampling + model update + φ sync).

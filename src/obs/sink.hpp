@@ -20,7 +20,10 @@ namespace culda::obs {
 /// Schema version stamped into every JSONL line and into the BENCH_*.json
 /// emitters ("metrics_schema"). Bump when metric names or summary fields
 /// change shape.
-inline constexpr char kMetricsSchema[] = "culda.metrics.v1";
+// v2: threadpool busy gauges carry the worker's home socket
+// (worker<i>.socket<s>.busy_s) and threadpool.steals counts cross-socket
+// shard claims (docs/parallelism.md).
+inline constexpr char kMetricsSchema[] = "culda.metrics.v2";
 
 class JsonlSink {
  public:

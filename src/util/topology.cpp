@@ -1,0 +1,211 @@
+#include "util/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+
+#include "util/check.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace culda {
+
+std::vector<std::vector<int>> CpuTopology::NodeCpus() const {
+  std::vector<std::vector<int>> per_node(
+      static_cast<size_t>(std::max(num_nodes, 1)));
+  for (size_t i = 0; i < cpus.size(); ++i) {
+    per_node[static_cast<size_t>(node_of[i])].push_back(cpus[i]);
+  }
+  return per_node;
+}
+
+namespace {
+
+/// Compact "a-b,c" rendering of an ascending CPU id list.
+std::string RenderCpuList(const std::vector<int>& cpus) {
+  std::ostringstream os;
+  for (size_t i = 0; i < cpus.size();) {
+    size_t j = i;
+    while (j + 1 < cpus.size() && cpus[j + 1] == cpus[j] + 1) ++j;
+    if (i > 0) os << ",";
+    os << cpus[i];
+    if (j > i) os << "-" << cpus[j];
+    i = j + 1;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string CpuTopology::Summary() const {
+  std::ostringstream os;
+  os << cpus.size() << (cpus.size() == 1 ? " CPU / " : " CPUs / ")
+     << num_nodes << (num_nodes == 1 ? " node" : " nodes") << " (";
+  const auto per_node = NodeCpus();
+  for (size_t n = 0; n < per_node.size(); ++n) {
+    if (n > 0) os << " | ";
+    os << RenderCpuList(per_node[n]);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<int> ParseCpuList(std::string_view text) {
+  std::vector<int> cpus;
+  size_t i = 0;
+  const auto skip_space = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  const auto read_int = [&]() -> int {
+    skip_space();
+    CULDA_CHECK_MSG(i < text.size() &&
+                        std::isdigit(static_cast<unsigned char>(text[i])),
+                    "malformed cpulist '" << std::string(text)
+                                          << "': expected a CPU number at "
+                                             "offset "
+                                          << i);
+    long value = 0;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      value = value * 10 + (text[i] - '0');
+      CULDA_CHECK_MSG(value <= 1 << 20, "cpulist CPU id out of range: '"
+                                            << std::string(text) << "'");
+      ++i;
+    }
+    return static_cast<int>(value);
+  };
+
+  skip_space();
+  while (i < text.size()) {
+    const int first = read_int();
+    int last = first;
+    skip_space();
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      last = read_int();
+      CULDA_CHECK_MSG(last >= first, "malformed cpulist '"
+                                         << std::string(text)
+                                         << "': reversed range " << first
+                                         << "-" << last);
+      skip_space();
+    }
+    for (int c = first; c <= last; ++c) cpus.push_back(c);
+    if (i < text.size()) {
+      CULDA_CHECK_MSG(text[i] == ',', "malformed cpulist '"
+                                          << std::string(text)
+                                          << "': unexpected character '"
+                                          << text[i] << "'");
+      ++i;
+      skip_space();
+      CULDA_CHECK_MSG(i < text.size(), "malformed cpulist '"
+                                           << std::string(text)
+                                           << "': trailing comma");
+    }
+  }
+  std::sort(cpus.begin(), cpus.end());
+  cpus.erase(std::unique(cpus.begin(), cpus.end()), cpus.end());
+  return cpus;
+}
+
+CpuTopology TopologyFromSys(const std::string& node_dir,
+                            std::vector<int> effective_cpus) {
+  std::sort(effective_cpus.begin(), effective_cpus.end());
+  effective_cpus.erase(
+      std::unique(effective_cpus.begin(), effective_cpus.end()),
+      effective_cpus.end());
+
+  // cpu id -> sys node number, from node<N>/cpulist entries. Unreadable or
+  // malformed node files are skipped (a best-effort topology is still a
+  // topology); no claims at all means one node.
+  std::map<int, int> sys_node_of;
+  std::error_code ec;
+  for (std::filesystem::directory_iterator it(node_dir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() < 5 || name.compare(0, 4, "node") != 0) continue;
+    bool digits = true;
+    for (size_t i = 4; i < name.size(); ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(name[i]))) digits = false;
+    }
+    if (!digits) continue;
+    const int sys_node = std::stoi(name.substr(4));
+    std::ifstream in(it->path() / "cpulist");
+    if (!in.good()) continue;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    try {
+      for (const int cpu : ParseCpuList(text)) {
+        sys_node_of.emplace(cpu, sys_node);  // first claim wins
+      }
+    } catch (const Error&) {
+      continue;
+    }
+  }
+
+  CpuTopology topo;
+  topo.cpus = std::move(effective_cpus);
+  topo.node_of.resize(topo.cpus.size(), -1);
+
+  // Dense-compact the sys node numbers over the nodes that actually hold
+  // effective CPUs, in ascending sys order; unclaimed CPUs go to dense
+  // node 0 (which always exists — created here if no node claimed anything).
+  std::map<int, int> dense_of;  // sys node -> dense index
+  for (const int cpu : topo.cpus) {
+    const auto found = sys_node_of.find(cpu);
+    if (found != sys_node_of.end()) dense_of.emplace(found->second, 0);
+  }
+  int next_dense = 0;
+  for (auto& [sys_node, dense] : dense_of) {
+    (void)sys_node;
+    dense = next_dense++;
+  }
+  for (size_t i = 0; i < topo.cpus.size(); ++i) {
+    const auto found = sys_node_of.find(topo.cpus[i]);
+    topo.node_of[i] =
+        found != sys_node_of.end() ? dense_of.at(found->second) : 0;
+  }
+  topo.num_nodes = std::max(next_dense, 1);
+  return topo;
+}
+
+std::vector<int> EffectiveCpus() {
+  std::vector<int> cpus;
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+      if (CPU_ISSET(c, &set)) cpus.push_back(c);
+    }
+  }
+#endif
+  if (cpus.empty()) {
+    const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+    for (unsigned c = 0; c < hw; ++c) cpus.push_back(static_cast<int>(c));
+  }
+  return cpus;
+}
+
+size_t EffectiveCpuCount() { return EffectiveCpus().size(); }
+
+size_t DefaultWorkerCount() {
+  const size_t cpus = EffectiveCpuCount();
+  return cpus > 1 ? cpus - 1 : 0;
+}
+
+const CpuTopology& SystemTopology() {
+  static const CpuTopology* topo = new CpuTopology(
+      TopologyFromSys("/sys/devices/system/node", EffectiveCpus()));
+  return *topo;
+}
+
+}  // namespace culda

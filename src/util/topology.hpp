@@ -1,0 +1,84 @@
+// CPU topology discovery for the topology-aware parallel runtime.
+//
+// The paper's whole design keeps the sampling hot path next to the memory
+// that feeds it; the host-side analogue is knowing (a) which CPUs this
+// process may actually run on and (b) how those CPUs group into NUMA nodes,
+// so the ThreadPool can pin workers, keep per-socket work queues, and let
+// read-mostly state (φ replicas, worker arenas) be first-touched on the
+// node that will read it — all without a libnuma dependency.
+//
+// Two deliberate sourcing choices:
+//
+//   * The effective CPU set comes from `sched_getaffinity`, NOT
+//     `std::thread::hardware_concurrency()`. Inside cgroup/cpuset-restricted
+//     containers the latter reports the machine, not the allowance, so pools
+//     sized from it oversubscribe; the affinity mask is the allowance.
+//   * The node layout comes from `/sys/devices/system/node/node*/cpulist`
+//     (parsed with the same `ParseCpuList` the tests feed canned fixtures),
+//     intersected with the effective set. No /sys, one node, or a 1-core
+//     cpuset all collapse to a single domain — the degenerate path on which
+//     every consumer behaves exactly as the placement-blind runtime did.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace culda {
+
+/// The effective CPU set and its NUMA grouping. `cpus` holds the CPU ids
+/// this process may run on, ascending; `node_of[i]` is the *dense* node
+/// index of `cpus[i]` (sys node numbering is compacted over the nodes that
+/// actually contain effective CPUs, so node indices are always
+/// 0..num_nodes-1 with no holes).
+struct CpuTopology {
+  std::vector<int> cpus;
+  std::vector<int> node_of;  ///< parallel to `cpus`
+  int num_nodes = 1;
+
+  size_t cpu_count() const { return cpus.size(); }
+
+  /// CPU ids per dense node, `num_nodes` entries, each ascending.
+  std::vector<std::vector<int>> NodeCpus() const;
+
+  /// Human-readable one-liner, e.g. "8 CPUs / 2 nodes (0-3 | 4-7)".
+  std::string Summary() const;
+};
+
+/// Parses a kernel cpulist string ("0-3,8,10-11") into ascending CPU ids.
+/// Whitespace (including the trailing newline sysfs emits) is tolerated;
+/// anything else malformed — reversed ranges, negatives, stray tokens —
+/// throws culda::Error. An empty/blank list parses to no CPUs (a memoryless
+/// node's cpulist really is empty).
+std::vector<int> ParseCpuList(std::string_view text);
+
+/// Builds a topology from a /sys/devices/system/node-style directory
+/// (entries `node<N>/cpulist`) intersected with `effective_cpus`. Effective
+/// CPUs that no node claims — or all of them, when `node_dir` is missing or
+/// holds no node entries — land on dense node 0. Exposed (with the path
+/// parameter) so tests can run canned fixtures; production callers use
+/// SystemTopology().
+CpuTopology TopologyFromSys(const std::string& node_dir,
+                            std::vector<int> effective_cpus);
+
+/// CPUs this process may run on: `sched_getaffinity` where available,
+/// falling back to 0..hardware_concurrency-1 (never empty; worst case {0}).
+std::vector<int> EffectiveCpus();
+
+/// The honest parallelism budget: size of the effective CPU set. This — not
+/// std::thread::hardware_concurrency(), which over-reports inside
+/// cpuset-restricted containers — is what default worker counts derive from.
+size_t EffectiveCpuCount();
+
+/// Default ThreadPool worker count for tools and benches:
+/// EffectiveCpuCount() − 1, because the calling thread participates in every
+/// ParallelFor — so N−1 workers saturate N CPUs without oversubscribing.
+/// 0 on a 1-core host (inline execution, today's behavior).
+size_t DefaultWorkerCount();
+
+/// The running machine's topology (EffectiveCpus × /sys/devices/system/
+/// node), discovered once and cached for the life of the process.
+const CpuTopology& SystemTopology();
+
+}  // namespace culda

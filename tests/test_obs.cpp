@@ -206,7 +206,8 @@ TEST_F(ObsTest, JsonlSinkWritesOneSchemaStampedLinePerSnapshot) {
   for (const auto& line : lines) {
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
-    EXPECT_NE(line.find("\"schema\":\"culda.metrics.v1\""),
+    EXPECT_NE(line.find(std::string("\"schema\":\"") + obs::kMetricsSchema +
+                        "\""),
               std::string::npos);
   }
   EXPECT_NE(lines[0].find("\"kind\":\"test_kind\""), std::string::npos);

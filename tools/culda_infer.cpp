@@ -62,8 +62,12 @@ Serving knobs (docs/serving.md):
   --iters=N         fold-in sweeps per document (default 30)
   --alpha=X         document prior (default 50/K)
   --beta=X          topic prior (default 0.01)
-  --workers=N       host threads fanning documents out (0 = sequential);
+  --workers=N       host threads fanning documents out (default: effective
+                    CPUs - 1 from the affinity mask; 0 = sequential);
                     results are bit-identical at any worker count
+  --pin             pin workers to their CPUs (graceful unpinned fallback)
+  --numa-replicate  per-socket replicas of the read-mostly tables
+                    (docs/parallelism.md; no-op single-socket; bit-identical)
   --batch=N         stdin lines grouped per InferBatch call (default 256)
   --sampler=MODE    sparse (default) | dense | alias-mh (docs/samplers.md)
   --mh-cycles=N     alias-mh only: MH proposal pairs per token per sweep
@@ -140,6 +144,9 @@ int main(int argc, char** argv) {
     const uint32_t iters =
         static_cast<uint32_t>(flags.GetInt("iters", 30));
     const int64_t workers_flag = flags.GetInt("workers", 0);
+    const bool workers_given = flags.Has("workers");
+    const bool pin = flags.GetBool("pin", false);
+    const bool numa_replicate = flags.GetBool("numa-replicate", false);
     const int64_t batch_size = flags.GetInt("batch", 256);
     const std::string sampler_name = flags.GetString("sampler", "sparse");
     const int64_t mh_cycles = flags.GetInt("mh-cycles", 1);
@@ -171,11 +178,18 @@ int main(int argc, char** argv) {
     cfg.alpha = alpha;
     cfg.beta = beta;
 
-    ThreadPool pool(static_cast<size_t>(workers_flag));
+    // Flag absent → size from the effective CPU set (affinity-mask-honest,
+    // unlike hardware_concurrency inside cpuset-restricted containers).
+    const size_t workers = workers_given ? static_cast<size_t>(workers_flag)
+                                         : DefaultWorkerCount();
+    ThreadPoolOptions pool_options;
+    pool_options.pin = pin;
+    ThreadPool pool(workers, pool_options);
     core::InferenceOptions options;
     options.sampler = core::ParseInferSampler(sampler_name);
     options.mh_cycles = static_cast<uint32_t>(mh_cycles);
-    if (workers_flag > 0) options.pool = &pool;
+    options.numa_replicate = numa_replicate;
+    if (workers > 0) options.pool = &pool;
     const core::InferenceEngine engine(model, cfg, options);
 
     obs::JsonlSink metrics_sink;

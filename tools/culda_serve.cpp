@@ -61,7 +61,12 @@ Inference:
   --iters=N          fold-in sweeps per request (default 20)
   --sampler=MODE     sparse (default) | dense | alias-mh (docs/samplers.md)
   --mh-cycles=N      alias-mh only: MH proposal pairs per token per sweep
-  --workers=N        threads fanning one batch's documents out (default 0)
+  --workers=N        threads fanning one batch's documents out (default:
+                     effective CPUs - 1 from the affinity mask; 0 = inline)
+  --pin              pin workers to their CPUs (graceful unpinned fallback)
+  --numa-replicate   per-socket replicas of the read-mostly serving tables,
+                     rebuilt with every generation (docs/parallelism.md;
+                     no-op single-socket; responses stay bit-identical)
   --alpha=X          document prior (default 50/K)
   --beta=X           topic prior (default 0.01)
   --validate         check model invariants at load/reload (exit 1 on
@@ -200,6 +205,9 @@ int main(int argc, char** argv) {
     const std::string sampler_name = flags.GetString("sampler", "sparse");
     const int64_t mh_cycles = flags.GetInt("mh-cycles", 1);
     const int64_t workers_flag = flags.GetInt("workers", 0);
+    const bool workers_given = flags.Has("workers");
+    const bool pin = flags.GetBool("pin", false);
+    const bool numa_replicate = flags.GetBool("numa-replicate", false);
     const int64_t max_batch = flags.GetInt("max-batch", 64);
     const double max_wait_ms = flags.GetDouble("max-wait-ms", 5.0);
     const int64_t max_queue = flags.GetInt("max-queue", 1024);
@@ -232,11 +240,18 @@ int main(int argc, char** argv) {
       obs::Metrics().set_enabled(true);
     }
 
-    ThreadPool pool(static_cast<size_t>(workers_flag));
+    // Flag absent → size from the effective CPU set (affinity-mask-honest,
+    // unlike hardware_concurrency inside cpuset-restricted containers).
+    const size_t workers = workers_given ? static_cast<size_t>(workers_flag)
+                                         : DefaultWorkerCount();
+    ThreadPoolOptions pool_options;
+    pool_options.pin = pin;
+    ThreadPool pool(workers, pool_options);
     core::InferenceOptions engine_options;
     engine_options.sampler = core::ParseInferSampler(sampler_name);
     engine_options.mh_cycles = static_cast<uint32_t>(mh_cycles);
-    if (workers_flag > 0) engine_options.pool = &pool;
+    engine_options.numa_replicate = numa_replicate;
+    if (workers > 0) engine_options.pool = &pool;
 
     // Each (re)load gets the next generation number; "reload" publishes
     // the result RCU-style, so in-flight batches finish on the snapshot

@@ -45,8 +45,14 @@ Model / training:
   --seed=N            RNG seed (default 1234)
   --device=NAME       titan | pascal | volta | cpu (default volta)
   --gpus=G            simulated GPU count (default 1)
-  --workers=N         host worker threads (default 0 = inline; wall-clock
-                      only, results are bit-identical)
+  --workers=N         host worker threads (default: effective CPUs - 1 from
+                      the affinity mask, so cgroup cpusets are honored; 0 =
+                      inline; wall-clock only, results are bit-identical)
+  --pin               pin workers to their CPUs (pthread affinity; falls
+                      back to unpinned per worker if the kernel refuses)
+  --numa-replicate    replicate read-mostly inference state per socket for
+                      held-out scoring (docs/parallelism.md; no-op on
+                      single-socket hosts; results stay bit-identical)
   --chunks-per-gpu=M  override the automatic WS1/WS2 choice
   --sampler=MODE      tree (default) | alias-mh (docs/samplers.md)
   --mh-cycles=N       alias-mh only: MH proposal pairs per token per sweep
@@ -120,8 +126,17 @@ int main(int argc, char** argv) {
     const int64_t workers_flag = flags.GetInt("workers", 0);
     CULDA_CHECK_MSG(workers_flag >= 0 && workers_flag <= 1024,
                     "--workers must be in [0, 1024], got " << workers_flag);
-    const size_t workers = static_cast<size_t>(workers_flag);
-    ThreadPool pool(workers);
+    // Flag absent → size from the *effective* CPU set (sched_getaffinity,
+    // minus the participating caller), not hardware_concurrency, which
+    // over-reports inside cpuset-restricted containers. Results are worker-
+    // count-invariant, so the auto default changes wall-clock only.
+    const size_t workers = flags.Has("workers")
+                               ? static_cast<size_t>(workers_flag)
+                               : DefaultWorkerCount();
+    ThreadPoolOptions pool_options;
+    pool_options.pin = flags.GetBool("pin", false);
+    opts.numa_replicate = flags.GetBool("numa-replicate", false);
+    ThreadPool pool(workers, pool_options);
     if (workers > 0) opts.pool = &pool;
     opts.chunks_per_gpu =
         static_cast<uint32_t>(flags.GetInt("chunks-per-gpu", 0));
@@ -247,6 +262,7 @@ int main(int argc, char** argv) {
       const auto served = trainer.Gather();
       core::InferenceOptions io;
       io.pool = opts.pool;
+      io.numa_replicate = opts.numa_replicate;
       const core::InferenceEngine engine(served, trainer.config(), io);
       std::printf("held-out document-completion perplexity: %.3f\n",
                   engine.DocumentCompletionPerplexity(heldout));

@@ -15,9 +15,15 @@
 #      answered and the exit code is 0.
 #
 # Usage: serve_smoke.sh <build-dir-with-tools>
+#
+# SERVE_EXTRA_FLAGS, when set, is appended (word-split) to every
+# culda_serve invocation — daemon, --oneshot reference, and drain — so CI
+# can re-run the whole bit-identity gate with e.g.
+# "--pin --numa-replicate --workers=2" forced on (docs/parallelism.md).
 set -eu
 
 bindir="$1"
+extra=${SERVE_EXTRA_FLAGS:-}
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
 fail() {
@@ -50,8 +56,9 @@ normalize() {
 }
 
 echo "== reference run (--oneshot, direct InferBatch)"
+# shellcheck disable=SC2086  # $extra is intentionally word-split
 "$bindir/culda_serve" --model="$work/model.bin" --iters=10 --oneshot \
-  --quiet < "$work/requests.jsonl" > "$work/oneshot.out" \
+  --quiet $extra < "$work/requests.jsonl" > "$work/oneshot.out" \
   || fail "oneshot run exited $?"
 
 echo "== daemon run (coalescing + hot swap)"
@@ -60,7 +67,7 @@ echo "== daemon run (coalescing + hot swap)"
 { cat "$work/requests.jsonl"; printf '{"op":"stats","id":"st"}\n'; } |
   "$bindir/culda_serve" --model="$work/model.bin" --iters=10 \
     --max-batch=8 --max-wait-ms=50 --metrics-out="$work/metrics.jsonl" \
-    --quiet > "$work/daemon.out" \
+    --quiet $extra > "$work/daemon.out" \
   || fail "daemon run exited $?"
 
 grep -v '"id":"st"' "$work/daemon.out" > "$work/daemon.responses"
@@ -100,7 +107,7 @@ echo "== SIGTERM drain"
 fifo="$work/in.fifo"
 mkfifo "$fifo"
 "$bindir/culda_serve" --model="$work/model.bin" --iters=10 \
-  --max-batch=64 --max-wait-ms=60000 --quiet \
+  --max-batch=64 --max-wait-ms=60000 --quiet $extra \
   < "$fifo" > "$work/drain.out" &
 daemon_pid=$!
 exec 3>"$fifo"  # hold the fifo open so the daemon never sees EOF
