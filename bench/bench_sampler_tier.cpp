@@ -39,6 +39,7 @@
 #include "core/inference.hpp"
 #include "core/sampler/sampler.hpp"
 #include "corpus/split.hpp"
+#include "obs/sink.hpp"
 #include "util/philox.hpp"
 #include "util/simd.hpp"
 #include "util/stopwatch.hpp"
@@ -335,6 +336,7 @@ int main(int argc, char** argv) {
   std::ofstream json(out_path);
   json << "{\n"
        << "  \"bench\": \"sampler_tier\",\n"
+       << "  \"metrics_schema\": \"" << obs::kMetricsSchema << "\",\n"
        << "  \"vocab\": " << corpus.vocab_size() << ",\n"
        << "  \"docs\": " << docs.size() << ",\n"
        << "  \"tokens\": " << tokens << ",\n"

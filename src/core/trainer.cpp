@@ -262,6 +262,12 @@ IterationStats CuldaTrainer::Step() {
   CULDA_OBS_GAUGE_SET("train.wall_tokens_per_sec",
                       stats.wall_tokens_per_sec);
   ++iteration_;
+  // Heartbeat: the live exporter publishes this gauge so an external
+  // watcher can tell a long run is advancing, and the flight-recorder
+  // event leaves a step-boundary trail in a crash dump.
+  CULDA_OBS_GAUGE_SET("train.heartbeat.iteration",
+                      static_cast<double>(iteration_));
+  CULDA_OBS_EVENT("train/step");
   if (opts_.hyperopt_interval > 0 &&
       iteration_ % opts_.hyperopt_interval == 0) {
     const GatheredModel model = Gather();

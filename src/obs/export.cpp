@@ -1,0 +1,192 @@
+#include "obs/export.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "util/check.hpp"
+
+namespace culda::obs {
+
+namespace {
+
+/// Prometheus number: like JsonNumber but with the format's spellings for
+/// non-finite values instead of JSON's null.
+std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return JsonNumber(v);
+}
+
+/// Label values are quoted; escape per the exposition format.
+std::string PromEscapeLabelValue(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void WriteSeriesLine(std::ostream& out, const PromName& pn,
+                     std::string_view suffix, std::string_view extra_label,
+                     std::string_view value) {
+  out << pn.name << suffix;
+  if (!pn.label.empty() || !extra_label.empty()) {
+    out << '{' << pn.label;
+    if (!pn.label.empty() && !extra_label.empty()) out << ',';
+    out << extra_label << '}';
+  }
+  out << ' ' << value << '\n';
+}
+
+}  // namespace
+
+PromName PrometheusName(std::string_view registry_name) {
+  PromName out;
+  std::string_view base = registry_name;
+  const size_t brace = registry_name.find('{');
+  if (brace != std::string_view::npos && registry_name.back() == '}') {
+    base = registry_name.substr(0, brace);
+    const std::string_view label = registry_name.substr(
+        brace + 1, registry_name.size() - brace - 2);
+    const size_t eq = label.find('=');
+    if (eq != std::string_view::npos) {
+      out.label.append(label.substr(0, eq))
+          .append("=\"")
+          .append(PromEscapeLabelValue(label.substr(eq + 1)))
+          .append("\"");
+    }
+  }
+  out.name = "culda_";
+  for (const char c : base) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.name.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void WritePrometheusText(const MetricsRegistry& registry,
+                         std::ostream& out) {
+  const MetricsRegistry::Samples samples = registry.CollectSamples();
+  // Registry names come out of std::map sorted, so all series sharing a
+  // base name ("x{op=a}", "x{op=b}") are adjacent — the # TYPE line is
+  // emitted when the base changes.
+  std::string last_typed;
+  const auto type_line = [&](const std::string& base, const char* type) {
+    if (base == last_typed) return;
+    out << "# TYPE " << base << ' ' << type << '\n';
+    last_typed = base;
+  };
+  for (const auto& [name, value] : samples.counters) {
+    const PromName pn = PrometheusName(name);
+    type_line(pn.name, "counter");
+    WriteSeriesLine(out, pn, "", "", std::to_string(value));
+  }
+  for (const auto& [name, value] : samples.gauges) {
+    const PromName pn = PrometheusName(name);
+    type_line(pn.name, "gauge");
+    WriteSeriesLine(out, pn, "", "", PromNumber(value));
+  }
+  for (const auto& hist : samples.histograms) {
+    const PromName pn = PrometheusName(hist.name);
+    type_line(pn.name, "histogram");
+    uint64_t cum = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      cum += hist.buckets[i];
+      const double edge = Histogram::BucketUpperEdge(i);
+      const std::string le =
+          "le=\"" + (std::isinf(edge) ? "+Inf" : PromNumber(edge)) + "\"";
+      WriteSeriesLine(out, pn, "_bucket", le, std::to_string(cum));
+    }
+    WriteSeriesLine(out, pn, "_sum", "", PromNumber(hist.summary.sum));
+    WriteSeriesLine(out, pn, "_count", "",
+                    std::to_string(hist.summary.count));
+  }
+  out << "# EOF\n";
+}
+
+void WritePrometheusFile(const MetricsRegistry& registry,
+                         const std::string& path) {
+  // Same write-rename discipline as util/io's AtomicWriteFile, implemented
+  // here because obs sits below util in the library layering: a scraper
+  // reading `path` sees the previous complete exposition or the new one,
+  // never a prefix.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    CULDA_CHECK_MSG(out.good(), "cannot open metrics exposition temp file '"
+                                    << tmp << "' for writing");
+    WritePrometheusText(registry, out);
+    out.flush();
+    CULDA_CHECK_MSG(out.good(),
+                    "failed writing metrics exposition to '" << tmp << "'");
+  }
+  CULDA_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot rename metrics exposition '" << tmp << "' to '"
+                                                       << path << "'");
+}
+
+MetricsExporter::MetricsExporter(ExporterOptions options,
+                                 const MetricsRegistry& registry)
+    : options_(std::move(options)), registry_(registry) {}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_ || stopped_) return;
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final export after the thread is gone: whatever the caller recorded
+  // between the last tick and Stop() (the post-drain state) is published.
+  ExportOnce();
+}
+
+void MetricsExporter::ExportOnce() {
+  if (!options_.expose_path.empty()) {
+    WritePrometheusFile(registry_, options_.expose_path);
+  }
+  if (options_.sink != nullptr && options_.sink->active()) {
+    JsonObject fields;
+    fields.Add("export_seq", exports_.load(std::memory_order_relaxed));
+    options_.sink->WriteSnapshot("export", std::move(fields), registry_);
+  }
+  exports_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsExporter::Loop() {
+  const auto interval = std::chrono::duration<double>(
+      options_.interval_s > 0 ? options_.interval_s : 1.0);
+  while (true) {
+    ExportOnce();
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, interval, [this] { return stop_requested_; });
+    if (stop_requested_) return;
+  }
+}
+
+}  // namespace culda::obs

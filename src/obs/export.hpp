@@ -1,0 +1,104 @@
+// Live metrics export: a Prometheus text-exposition writer plus a
+// background exporter thread that periodically snapshots the registry to
+// an atomically-replaced exposition file and (optionally) the JSONL sink.
+//
+// The JSONL sink (sink.hpp) is a *post-hoc* record — tools write snapshots
+// at their own milestones and the file is read after the run. A serving
+// daemon needs the opposite: a scrape surface that is valid *while* the
+// process runs. WritePrometheusFile gives that as a file (write to
+// `path.tmp`, flush, rename — a scraper sees the old complete file or the
+// new complete file, never a torn one), and MetricsExporter drives it on a
+// timer with a final export on Stop() so the post-drain state is always
+// captured. The exporter is observation-only like everything else here:
+// it reads the registry, never writes anything the samplers read.
+//
+// Name mapping: registry names are dot-separated with an optional
+// `{key=value}` label ("serve.request.latency{op=infer}"); exposition
+// names replace the dots ("culda_serve_request_latency{op="infer"}") and
+// histograms expand to the conventional cumulative _bucket/_sum/_count
+// series using the registry's power-of-two bucket edges.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+
+namespace culda::obs {
+
+/// `name{key=value}` → {prometheus_name, label or ""}. Exposed for tests.
+struct PromName {
+  std::string name;   ///< "culda_serve_request_latency"
+  std::string label;  ///< "op=\"infer\"" or empty
+};
+PromName PrometheusName(std::string_view registry_name);
+
+/// The whole registry in Prometheus text exposition format, series grouped
+/// by base name under one # TYPE line each, terminated by "# EOF\n" (the
+/// completeness marker the smoke test and scrapers can key on).
+void WritePrometheusText(const MetricsRegistry& registry, std::ostream& out);
+
+/// WritePrometheusText into `path` atomically: write `path.tmp`, flush,
+/// rename over `path`. Throws culda::Error when the file cannot be
+/// written.
+void WritePrometheusFile(const MetricsRegistry& registry,
+                         const std::string& path);
+
+struct ExporterOptions {
+  double interval_s = 1.0;  ///< time between periodic exports
+  std::string expose_path;  ///< Prometheus file; "" = no exposition file
+  /// When set, each export also writes one {"kind":"export"} snapshot line
+  /// (live progress in the same stream the milestone snapshots use).
+  JsonlSink* sink = nullptr;
+};
+
+/// Background exporter thread. Start() spawns it; Stop() (or destruction)
+/// wakes it, joins, and runs one final export, so the published state
+/// always reflects the moment after the daemon's drain — the shutdown
+/// ordering contract is: drain the daemon, write final snapshots, then
+/// Stop() the exporter.
+class MetricsExporter {
+ public:
+  explicit MetricsExporter(ExporterOptions options,
+                           const MetricsRegistry& registry = Metrics());
+  ~MetricsExporter();
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Idempotent; the thread exports once immediately, then every
+  /// interval_s.
+  void Start();
+
+  /// Wakes and joins the thread, then exports once more. Idempotent, and
+  /// safe without Start() (just the final export).
+  void Stop();
+
+  /// One synchronous export (exposition file + sink line) right now.
+  void ExportOnce();
+
+  /// Completed exports (periodic + final). Test support.
+  uint64_t exports() const {
+    return exports_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+
+  ExporterOptions options_;
+  const MetricsRegistry& registry_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::atomic<uint64_t> exports_{0};
+  std::thread thread_;
+};
+
+}  // namespace culda::obs

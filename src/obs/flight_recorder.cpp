@@ -1,0 +1,192 @@
+#include "obs/flight_recorder.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace culda::obs {
+
+namespace {
+
+// -- async-signal-safe formatting helpers ------------------------------
+// The dump path may run inside a fatal-signal handler, so everything is
+// hand-rolled onto a caller-owned buffer and flushed with write(2).
+
+struct Buf {
+  char data[256];
+  size_t len = 0;
+  int fd;
+
+  explicit Buf(int fd_in) : fd(fd_in) {}
+  void Flush() {
+    size_t off = 0;
+    while (off < len) {
+      const ssize_t n = ::write(fd, data + off, len - off);
+      if (n <= 0) break;  // nothing sane to do mid-crash; stop
+      off += static_cast<size_t>(n);
+    }
+    len = 0;
+  }
+  void Ch(char c) {
+    if (len == sizeof(data)) Flush();
+    data[len++] = c;
+  }
+  void Str(const char* s) {
+    while (*s != '\0') Ch(*s++);
+  }
+  void U64(uint64_t v) {
+    char tmp[20];
+    size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) Ch(tmp[--n]);
+  }
+  void Hex64(uint64_t v) {
+    static const char kDigits[] = "0123456789abcdef";
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      Ch(kDigits[(v >> shift) & 0xF]);
+    }
+  }
+  /// `v` scaled down by 10^frac_digits, printed with that many decimals
+  /// (e.g. Fixed(1234567, 6) -> "1.234567" — µs as seconds).
+  void Fixed(uint64_t v, int frac_digits) {
+    uint64_t div = 1;
+    for (int i = 0; i < frac_digits; ++i) div *= 10;
+    U64(v / div);
+    Ch('.');
+    uint64_t frac = v % div;
+    for (div /= 10; div > 0; div /= 10) {
+      Ch(static_cast<char>('0' + frac / div));
+      frac %= div;
+    }
+  }
+};
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::FlightRecorder()
+    : epoch_(std::chrono::steady_clock::now()) {}
+
+uint32_t FlightRecorder::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(intern_mutex_);
+  const uint32_t count = name_count_.load(std::memory_order_acquire);
+  for (uint32_t i = 1; i < count; ++i) {
+    if (name == names_[i].text) return i;
+  }
+  if (count >= kMaxNames) return 0;  // table full: fold into "<other>"
+  Name& slot = names_[count];
+  const size_t n = std::min(name.size(), sizeof(slot.text) - 1);
+  std::memcpy(slot.text, name.data(), n);
+  slot.text[n] = '\0';
+  // Publish after the text is complete; Dump reads count with acquire.
+  name_count_.store(count + 1, std::memory_order_release);
+  return count;
+}
+
+void FlightRecorder::Record(uint32_t name_id, double dur_s,
+                            uint64_t trace_id) {
+  if (!enabled()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const uint64_t t_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now - epoch_)
+          .count());
+  const uint64_t idx = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& s = slots_[idx % kSlots];
+  // Invalidate first so a concurrent dump never pairs the old stamp with
+  // new fields; the release store of the new stamp publishes them.
+  s.stamp.store(0, std::memory_order_release);
+  s.t_us.store(t_us, std::memory_order_relaxed);
+  s.dur_ns.store(
+      dur_s < 0 ? -1 : static_cast<int64_t>(dur_s * 1e9),
+      std::memory_order_relaxed);
+  s.trace_id.store(trace_id, std::memory_order_relaxed);
+  s.name_id.store(name_id < kMaxNames ? name_id : 0,
+                  std::memory_order_relaxed);
+  s.stamp.store(idx, std::memory_order_release);
+}
+
+void FlightRecorder::Record(std::string_view name, double dur_s,
+                            uint64_t trace_id) {
+  if (!enabled()) return;
+  Record(Intern(name), dur_s, trace_id);
+}
+
+void FlightRecorder::Clear() {
+  for (Slot& s : slots_) s.stamp.store(0, std::memory_order_relaxed);
+  next_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::DumpToFd(int fd) const {
+  Buf out(fd);
+  const uint64_t total = next_.load(std::memory_order_relaxed);
+  out.Str("== culda flight recorder: ");
+  out.U64(total);
+  out.Str(" events recorded, last ");
+  out.U64(total < kSlots ? total : kSlots);
+  out.Str(" retained (oldest first) ==\n");
+
+  // Snapshot the stamps, then order by stamp (global event index) with an
+  // insertion sort on a stack array — no allocation in signal context.
+  struct Entry {
+    uint64_t stamp;
+    uint32_t slot;
+  };
+  Entry entries[kSlots];
+  size_t n = 0;
+  for (uint32_t i = 0; i < kSlots; ++i) {
+    const uint64_t stamp = slots_[i].stamp.load(std::memory_order_acquire);
+    if (stamp == 0) continue;
+    entries[n++] = {stamp, i};
+  }
+  for (size_t i = 1; i < n; ++i) {
+    const Entry e = entries[i];
+    size_t j = i;
+    for (; j > 0 && entries[j - 1].stamp > e.stamp; --j) {
+      entries[j] = entries[j - 1];
+    }
+    entries[j] = e;
+  }
+
+  const uint32_t name_count = name_count_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const Slot& s = slots_[entries[i].slot];
+    const uint64_t t_us = s.t_us.load(std::memory_order_relaxed);
+    const int64_t dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    const uint64_t trace_id = s.trace_id.load(std::memory_order_relaxed);
+    uint32_t name_id = s.name_id.load(std::memory_order_relaxed);
+    // Torn slot (a writer lapped us between the stamp snapshot and the
+    // field reads): skip rather than print mixed fields.
+    if (s.stamp.load(std::memory_order_acquire) != entries[i].stamp) {
+      continue;
+    }
+    if (name_id >= name_count) name_id = 0;
+    out.Str("  #");
+    out.U64(entries[i].stamp);
+    out.Str(" t=");
+    out.Fixed(t_us, 6);
+    out.Str("s ");
+    out.Str(names_[name_id].text);
+    if (dur_ns >= 0) {
+      out.Str(" dur=");
+      out.Fixed(static_cast<uint64_t>(dur_ns), 9);
+      out.Str("s");
+    }
+    if (trace_id != 0) {
+      out.Str(" trace=");
+      out.Hex64(trace_id);
+    }
+    out.Ch('\n');
+  }
+  out.Str("== end flight recorder ==\n");
+  out.Flush();
+}
+
+}  // namespace culda::obs

@@ -1,0 +1,101 @@
+// Flight recorder: a fixed-size lock-free ring of recent spans/events that
+// the fatal-signal path can dump as a readable last-N-events report.
+//
+// When a long-running daemon dies on SIGSEGV/SIGABRT, the stack trace says
+// where it died but not what it was doing; the flight recorder answers
+// that ("the last 256 spans before the crash"). Recording is a relaxed
+// atomic counter plus atomic field stores into a preallocated slot ring —
+// no lock, no allocation — so it can ride inside SpanTracer::RecordSpan
+// and on heartbeat sites without changing the hot-path story. Dumping is
+// async-signal-safe: it reads only atomics and preallocated name strings,
+// formats integers by hand, and uses write(2) — no malloc, no stdio, no
+// locks — so util/signal's fatal handler may call it from the signal
+// context.
+//
+// Names are interned into a bounded table (the mutex is paid once per
+// distinct name, same idea as the metric-handle caches); past the cap,
+// events fall into the "<other>" bucket rather than growing the table.
+// Under concurrent recording a slot being overwritten while the dump reads
+// it is detected by re-checking its stamp and skipped — a crash-dump
+// facility prefers dropping one torn entry over synchronizing writers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+namespace culda::obs {
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kSlots = 256;      ///< events kept (ring)
+  static constexpr size_t kMaxNames = 512;   ///< distinct names interned
+
+  /// The process-global recorder (leaked, like the metrics registry: the
+  /// fatal handler may fire during static destruction).
+  static FlightRecorder& Global();
+
+  FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Name → stable id for Record(). Takes a mutex on first sight of a
+  /// name; returns the "<other>" id (0) once kMaxNames is reached.
+  uint32_t Intern(std::string_view name);
+
+  /// Records one event. `dur_s < 0` means "point event, no duration";
+  /// `trace_id` ties the event to a request trace (0 = none). No-op while
+  /// disabled. Lock-free.
+  void Record(uint32_t name_id, double dur_s = -1.0, uint64_t trace_id = 0);
+  /// Convenience combining Intern + Record (interns once per name).
+  void Record(std::string_view name, double dur_s = -1.0,
+              uint64_t trace_id = 0);
+
+  /// Total events recorded since construction / Clear (not capped at
+  /// kSlots — the dump reports how many were dropped).
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Empties the ring and zeroes the event count (interned names persist).
+  void Clear();
+
+  /// Writes the retained events, oldest first, as a plain-text report to
+  /// `fd` via write(2). Async-signal-safe: no allocation, no locks, no
+  /// stdio. Torn slots (overwritten mid-read) are skipped.
+  void DumpToFd(int fd) const;
+
+ private:
+  struct Slot {
+    /// 1-based global event index; 0 = never written. Written last
+    /// (release) so a stamp-validated read sees complete fields.
+    std::atomic<uint64_t> stamp{0};
+    std::atomic<uint64_t> t_us{0};      ///< microseconds since recorder epoch
+    std::atomic<int64_t> dur_ns{-1};    ///< -1 = point event
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<uint32_t> name_id{0};
+  };
+  struct Name {
+    char text[48] = "<other>";  ///< truncating copy; id 0 keeps the default
+  };
+
+  Slot slots_[kSlots];
+  Name names_[kMaxNames];
+  std::atomic<uint32_t> name_count_{1};  ///< slot 0 reserved for "<other>"
+  std::atomic<uint64_t> next_{0};
+  std::atomic<bool> enabled_{false};
+  std::mutex intern_mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+inline FlightRecorder& Flight() { return FlightRecorder::Global(); }
+
+}  // namespace culda::obs

@@ -109,8 +109,7 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *registry;
 }
 
-Counter& MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Counter& MetricsRegistry::CounterLocked(std::string_view name) {
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -119,8 +118,7 @@ Counter& MetricsRegistry::GetCounter(std::string_view name) {
   return *it->second;
 }
 
-Gauge& MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Gauge& MetricsRegistry::GaugeLocked(std::string_view name) {
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -128,14 +126,76 @@ Gauge& MetricsRegistry::GetGauge(std::string_view name) {
   return *it->second;
 }
 
-Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+Histogram& MetricsRegistry::HistogramLocked(std::string_view name) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
              .first;
   }
   return *it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CounterLocked(name);
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GaugeLocked(name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return HistogramLocked(name);
+}
+
+std::string MetricsRegistry::LabeledName(std::string_view name,
+                                         std::string_view key,
+                                         std::string_view value) {
+  std::string out;
+  out.reserve(name.size() + key.size() + value.size() + 3);
+  out.append(name).append("{").append(key).append("=").append(value).append(
+      "}");
+  return out;
+}
+
+std::string MetricsRegistry::BoundedLabeledName(std::string_view name,
+                                                std::string_view key,
+                                                std::string_view value) {
+  std::string bucket_key;
+  bucket_key.reserve(name.size() + key.size() + 1);
+  bucket_key.append(name).append("{").append(key);
+  auto& values = label_values_[bucket_key];
+  if (values.find(value) == values.end()) {
+    if (values.size() >= kMaxLabelValues) {
+      // Over budget: this value (and all later newcomers) share one
+      // "overflow" series rather than growing the registry without bound.
+      return LabeledName(name, key, "overflow");
+    }
+    values.emplace(value);
+  }
+  return LabeledName(name, key, value);
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view key,
+                                     std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return CounterLocked(BoundedLabeledName(name, key, value));
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name, std::string_view key,
+                                 std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GaugeLocked(BoundedLabeledName(name, key, value));
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view key,
+                                         std::string_view value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return HistogramLocked(BoundedLabeledName(name, key, value));
 }
 
 std::string MetricsRegistry::SnapshotJson() const {
@@ -166,6 +226,30 @@ std::string MetricsRegistry::SnapshotJson() const {
     out.AddRaw(name, m.str());
   }
   return out.str();
+}
+
+MetricsRegistry::Samples MetricsRegistry::CollectSamples() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Samples out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    Samples::Hist hist;
+    hist.name = name;
+    hist.summary = h->Snapshot();
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      hist.buckets[i] = h->BucketCount(i);
+    }
+    out.histograms.push_back(std::move(hist));
+  }
+  return out;
 }
 
 void MetricsRegistry::ResetValues() {

@@ -31,8 +31,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace culda::obs {
 
@@ -93,6 +96,11 @@ class Histogram {
   /// edge and reports infinity.
   static double BucketUpperEdge(size_t i);
 
+  /// Samples recorded into bucket `i` (relaxed read; exporter support).
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
   struct Summary {
     uint64_t count = 0;
     double sum = 0;
@@ -126,8 +134,22 @@ class Histogram {
 /// Name → metric. Names are dot-separated lowercase
 /// ("infer.batch_seconds"); the convention (and the current name inventory)
 /// is documented in docs/observability.md.
+///
+/// Labels: the labeled Get* overloads register the metric under its
+/// canonical labeled name, `name{key=value}` — one key=value pair, the
+/// shape the serving plane needs ("serve.request.latency{op=infer}").
+/// Labeled series are ordinary registry entries (same hot-path handle
+/// caching, same snapshot/export surfaces); cardinality is bounded at
+/// kMaxLabelValues distinct values per (name, key) — past that, new values
+/// fold into the literal value "overflow" instead of growing the registry
+/// without bound. Because the CULDA_OBS_*_L macros cache the handle in a
+/// function-local static, the label value at a macro site must be
+/// call-site-stable; dynamic values go through GetCounter(name, key, value)
+/// directly.
 class MetricsRegistry {
  public:
+  /// Distinct label values per (name, key) before folding to "overflow".
+  static constexpr size_t kMaxLabelValues = 32;
   /// The process-global registry every CULDA_OBS_* macro records into.
   static MetricsRegistry& Global();
 
@@ -140,6 +162,19 @@ class MetricsRegistry {
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
+
+  /// Labeled find-or-create: the series `name{key=value}`. Cardinality is
+  /// bounded per (name, key) — see the class comment.
+  Counter& GetCounter(std::string_view name, std::string_view key,
+                      std::string_view value);
+  Gauge& GetGauge(std::string_view name, std::string_view key,
+                  std::string_view value);
+  Histogram& GetHistogram(std::string_view name, std::string_view key,
+                          std::string_view value);
+
+  /// Canonical labeled series name: `name{key=value}`.
+  static std::string LabeledName(std::string_view name, std::string_view key,
+                                 std::string_view value);
 
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
   void set_enabled(bool on) {
@@ -155,13 +190,41 @@ class MetricsRegistry {
   /// Zeroes every metric's value (registrations stay). Test support.
   void ResetValues();
 
+  /// Structured snapshot for exporters (Prometheus writer): every series
+  /// by name, histograms with their raw bucket counts alongside the
+  /// summary. Same consistency contract as SnapshotJson.
+  struct Samples {
+    struct Hist {
+      std::string name;
+      Histogram::Summary summary;
+      std::array<uint64_t, Histogram::kBuckets> buckets{};
+    };
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<Hist> histograms;
+  };
+  Samples CollectSamples() const;
+
  private:
+  // Unlocked bodies: the labeled overloads resolve the bounded name under
+  // the same mutex acquisition as the lookup.
+  Counter& CounterLocked(std::string_view name);
+  Gauge& GaugeLocked(std::string_view name);
+  Histogram& HistogramLocked(std::string_view name);
+  /// Bounded labeled name, registering the value against the cardinality
+  /// budget for (name, key). Caller holds mutex_.
+  std::string BoundedLabeledName(std::string_view name, std::string_view key,
+                                 std::string_view value);
+
   mutable std::mutex mutex_;
   std::atomic<bool> enabled_{false};
   // node-based maps: references returned by Get* survive later inserts.
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// "name{key" → distinct values seen, for the cardinality bound.
+  std::map<std::string, std::set<std::string, std::less<>>, std::less<>>
+      label_values_;
 };
 
 inline MetricsRegistry& Metrics() { return MetricsRegistry::Global(); }

@@ -19,6 +19,7 @@
 // collection on vs. off produce identical bytes).
 #pragma once
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -79,6 +80,60 @@
 #define CULDA_OBS_SPAN(name) \
   ::culda::obs::ScopedSpan CULDA_OBS_CAT(culda_obs_span_, __LINE__)(name)
 
+// -- labeled variants ---------------------------------------------------
+// Same handle-caching story, one series per call site: because the handle
+// is resolved once into a function-local static, `key` and `value` must be
+// call-site-stable expressions (string literals in practice). Dynamic
+// label values go through Metrics().GetCounter(name, key, value) directly,
+// outside any hot loop.
+
+/// Adds `delta` to the labeled counter `name{key=value}`.
+#define CULDA_OBS_COUNT_L(name, key, value, delta)             \
+  do {                                                         \
+    if (::culda::obs::MetricsEnabled()) {                      \
+      static ::culda::obs::Counter& culda_obs_counter_ =       \
+          ::culda::obs::Metrics().GetCounter(name, key,        \
+                                             value);           \
+      culda_obs_counter_.Add(                                  \
+          static_cast<uint64_t>(delta));                       \
+    }                                                          \
+  } while (0)
+
+/// Records `seconds` into the labeled histogram `name{key=value}`.
+#define CULDA_OBS_HIST_L(name, key, value, seconds)            \
+  do {                                                         \
+    if (::culda::obs::MetricsEnabled()) {                      \
+      static ::culda::obs::Histogram& culda_obs_hist_ =        \
+          ::culda::obs::Metrics().GetHistogram(name, key,      \
+                                               value);         \
+      culda_obs_hist_.Record(                                  \
+          static_cast<double>(seconds));                       \
+    }                                                          \
+  } while (0)
+
+/// Times the enclosing scope into the labeled histogram `name{key=value}`
+/// (RAII). Statement context only.
+#define CULDA_OBS_TIMED_L(name, key, value)                             \
+  static ::culda::obs::Histogram& CULDA_OBS_CAT(culda_obs_timed_hist_, \
+                                                __LINE__) =            \
+      ::culda::obs::Metrics().GetHistogram(name, key, value);          \
+  ::culda::obs::ScopedHistTimer CULDA_OBS_CAT(culda_obs_timed_,        \
+                                              __LINE__)(               \
+      CULDA_OBS_CAT(culda_obs_timed_hist_, __LINE__))
+
+/// Records a point event named `name` into the flight recorder (heartbeat
+/// sites: "the process was alive and here"). The name id is cached per
+/// call site, so steady state is one relaxed check plus a lock-free ring
+/// write; a disabled recorder costs the check alone.
+#define CULDA_OBS_EVENT(name)                                  \
+  do {                                                         \
+    if (::culda::obs::Flight().enabled()) {                    \
+      static const uint32_t culda_obs_event_id_ =              \
+          ::culda::obs::Flight().Intern(name);                 \
+      ::culda::obs::Flight().Record(culda_obs_event_id_);      \
+    }                                                          \
+  } while (0)
+
 #else  // CULDA_OBS_OFF: every macro body vanishes. The sizeof tricks keep
        // arguments "used" (no -Wunused warnings) without evaluating them.
 
@@ -105,6 +160,30 @@
 #define CULDA_OBS_SPAN(name) \
   do {                       \
     (void)sizeof((name));    \
+  } while (0)
+#define CULDA_OBS_COUNT_L(name, key, value, delta) \
+  do {                                             \
+    (void)sizeof((name));                          \
+    (void)sizeof((key));                           \
+    (void)sizeof((value));                         \
+    (void)sizeof((delta));                         \
+  } while (0)
+#define CULDA_OBS_HIST_L(name, key, value, seconds) \
+  do {                                              \
+    (void)sizeof((name));                           \
+    (void)sizeof((key));                            \
+    (void)sizeof((value));                          \
+    (void)sizeof((seconds));                        \
+  } while (0)
+#define CULDA_OBS_TIMED_L(name, key, value) \
+  do {                                      \
+    (void)sizeof((name));                   \
+    (void)sizeof((key));                    \
+    (void)sizeof((value));                  \
+  } while (0)
+#define CULDA_OBS_EVENT(name) \
+  do {                        \
+    (void)sizeof((name));     \
   } while (0)
 
 #endif  // CULDA_OBS_OFF

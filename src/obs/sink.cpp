@@ -4,17 +4,18 @@
 
 namespace culda::obs {
 
-JsonlSink::JsonlSink(const std::string& path)
-    : out_(path, std::ios::trunc) {
-  CULDA_CHECK_MSG(out_.good(),
-                  "cannot open metrics sink '" << path << "' for writing");
-}
+JsonlSink::JsonlSink(const std::string& path) { Open(path); }
 
 void JsonlSink::Open(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  out_.open(path, std::ios::trunc);
-  CULDA_CHECK_MSG(out_.good(),
-                  "cannot open metrics sink '" << path << "' for writing");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_.open(path, std::ios::trunc);
+    CULDA_CHECK_MSG(out_.good(),
+                    "cannot open metrics sink '" << path << "' for writing");
+  }
+  JsonObject header;
+  header.Add("schema", kMetricsSchema).Add("kind", "header");
+  Write(header);
 }
 
 void JsonlSink::Write(const JsonObject& obj) {

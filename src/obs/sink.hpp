@@ -23,7 +23,10 @@ namespace culda::obs {
 // v2: threadpool busy gauges carry the worker's home socket
 // (worker<i>.socket<s>.busy_s) and threadpool.steals counts cross-socket
 // shard claims (docs/parallelism.md).
-inline constexpr char kMetricsSchema[] = "culda.metrics.v2";
+// v3: labeled series names ("serve.request.latency{op=infer}"), the sink's
+// opening "header" line, the exporter's periodic "export" lines, and the
+// serving-plane serve.* inventory (docs/observability.md).
+inline constexpr char kMetricsSchema[] = "culda.metrics.v3";
 
 class JsonlSink {
  public:
@@ -35,6 +38,9 @@ class JsonlSink {
 
   /// Opens (truncates) `path` on a default-constructed sink; throws
   /// culda::Error on failure. Tools call this when --metrics-out is set.
+  /// The first line written is a schema header,
+  ///   {"schema":"culda.metrics.v3","kind":"header"},
+  /// so a reader can version-check the stream before parsing snapshots.
   void Open(const std::string& path);
 
   bool active() const { return out_.is_open(); }

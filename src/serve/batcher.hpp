@@ -43,7 +43,10 @@ struct BatcherOptions {
 /// One queued request plus its completion callback and enqueue timestamp.
 /// The callback is invoked exactly once, from the dispatch thread, when
 /// the request's batch completes — shed requests never enter the queue
-/// (Enqueue returns false and the caller responds inline).
+/// (Enqueue returns false and the caller responds inline). The enqueue
+/// stamp doubles as the start of the request's serve/queue_wait span (the
+/// request's trace context rides on ServeRequest::trace_ctx), so the wait
+/// is visible per-request in the merged trace, not just as a histogram.
 struct Ticket {
   ServeRequest request;
   std::function<void(ServeResponse)> done;

@@ -69,10 +69,14 @@ FrontendResult RunLineFrontend(ServeDaemon& daemon, int in_fd, int out_fd,
   bool eof = false;
 
   const auto handle_line = [&](std::string_view line) -> bool {
+    obs::SpanTracer& tracer = obs::SpanTracer::Global();
+    const bool tracing = tracer.enabled();
+    const double parse_start_s = tracing ? tracer.NowSeconds() : 0;
     ParsedLine parsed = ParseRequestLine(line);
     if (parsed.kind == LineKind::kError) {
       if (parsed.error.empty()) return true;  // blank line
       ++result.lines;
+      CULDA_OBS_COUNT("serve.bad_lines", 1);
       writer->WriteLine(FormatResponse(MakeErrorResponse(
           std::move(parsed.id), "bad_request", std::move(parsed.error))));
       return true;
@@ -87,13 +91,15 @@ FrontendResult RunLineFrontend(ServeDaemon& daemon, int in_fd, int out_fd,
         return false;  // stop reading; caller drains
       }
       if (parsed.op == "stats") {
+        CULDA_OBS_TIMED_L("serve.request.latency", "op", "stats");
         writer->WriteLine(FormatControlAck(
             parsed.id, "stats",
             daemon.Current() ? daemon.Current()->generation() : 0,
-            obs::Metrics().SnapshotJson()));
+            daemon.StatsPayloadJson()));
         return true;
       }
       // reload: build the next generation, publish, ack with its number.
+      CULDA_OBS_TIMED_L("serve.request.latency", "op", "reload");
       try {
         CULDA_CHECK_MSG(reload != nullptr,
                         "this daemon has no reload source");
@@ -106,6 +112,14 @@ FrontendResult RunLineFrontend(ServeDaemon& daemon, int in_fd, int out_fd,
             std::move(parsed.id), "reload_failed", e.what())));
       }
       return true;
+    }
+    if (tracing) {
+      // Mint the request's trace context here so the parse span joins the
+      // same trace the daemon's queue/infer/respond spans will use.
+      parsed.request.trace_ctx =
+          obs::NewRequestContext(parsed.request.trace);
+      tracer.RecordSpan("serve/parse", parse_start_s, tracer.NowSeconds(),
+                        obs::ChildContext(parsed.request.trace_ctx));
     }
     // Inference: the callback owns a writer reference, so completion after
     // this frame returns is safe.

@@ -7,7 +7,8 @@
 // a shared writer so concurrent batch completions never interleave bytes).
 // Control ops are handled here — "reload" asks the embedder for a fresh
 // snapshot via ReloadFn and publishes it (the tool's hot-swap path),
-// "stats" answers with a metrics-registry snapshot, "drain" acknowledges,
+// "stats" answers with ServeDaemon::StatsPayloadJson (daemon state + the
+// full registry snapshot, per-endpoint histograms included), "drain" acks,
 // stops this frontend, and reports drain_requested so the caller runs the
 // daemon's graceful drain.
 //

@@ -154,7 +154,7 @@ ParsedLine ParseRequestLine(std::string_view line) {
   try {
     r.Expect('{');
     bool have_id = false, have_words = false, have_seed = false,
-         have_op = false;
+         have_op = false, have_trace = false;
     if (!r.TryConsume('}')) {
       do {
         const std::string key = r.ParseString();
@@ -181,6 +181,16 @@ ParsedLine ParseRequestLine(std::string_view line) {
           have_seed = true;
           out.request.seed =
               r.ParseUint(std::numeric_limits<uint64_t>::max(), "\"seed\"");
+        } else if (key == "trace") {
+          if (have_trace) Fail("duplicate \"trace\"");
+          have_trace = true;
+          out.request.trace = r.ParseString();
+          if (out.request.trace.empty()) {
+            Fail("\"trace\" must be a non-empty string");
+          }
+          if (out.request.trace.size() > 128) {
+            Fail("\"trace\" is too long (max 128 bytes)");
+          }
         } else if (key == "op") {
           if (have_op) Fail("duplicate \"op\"");
           have_op = true;
@@ -194,7 +204,7 @@ ParsedLine ParseRequestLine(std::string_view line) {
     if (!r.AtEnd()) Fail("trailing garbage after request object");
 
     if (have_op) {
-      if (have_words || have_seed) {
+      if (have_words || have_seed || have_trace) {
         Fail("control requests take only \"op\" and an optional \"id\"");
       }
       if (out.op != "reload" && out.op != "stats" && out.op != "drain") {
@@ -218,7 +228,11 @@ ParsedLine ParseRequestLine(std::string_view line) {
 
 std::string FormatResponse(const ServeResponse& response) {
   obs::JsonObject obj;
-  obj.Add("id", response.id).Add("ok", response.ok);
+  obj.Add("id", response.id);
+  // Echoed identically on every path (daemon, oneshot, errors), so the
+  // daemon-vs-oneshot bit-identity diff is unaffected by tracing.
+  if (!response.trace.empty()) obj.Add("trace", response.trace);
+  obj.Add("ok", response.ok);
   if (!response.ok) {
     obj.Add("error", response.error);
     if (!response.detail.empty()) obj.Add("detail", response.detail);

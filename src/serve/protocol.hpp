@@ -4,12 +4,16 @@
 // runs). The full schema, knobs, and examples are in docs/serving.md
 // ("Daemon").
 //
-// Inference request:   {"id":"r1","words":[3,17,3],"seed":7}
+// Inference request:   {"id":"r1","words":[3,17,3],"seed":7,"trace":"t-9"}
 //   id     required; any non-empty string (echoed verbatim)
 //   words  required; vocabulary ids (checked against the serving snapshot)
 //   seed   optional (default 7); per-document Philox seed, so a request's
 //          result depends only on (snapshot, words, seed, iterations) —
 //          never on how requests happened to coalesce into batches
+//   trace  optional; non-empty client trace tag (≤ 128 bytes), echoed in
+//          the response and hashed deterministically into the request's
+//          64-bit trace id when --trace-out is active, so client logs and
+//          server spans correlate (docs/observability.md)
 // Control request:     {"op":"reload"} | {"op":"stats"} | {"op":"drain"}
 //   optionally with an "id" to correlate the acknowledgement
 //
@@ -33,6 +37,7 @@
 #include <vector>
 
 #include "core/inference.hpp"
+#include "obs/trace.hpp"
 
 namespace culda::serve {
 
@@ -41,12 +46,19 @@ struct ServeRequest {
   std::string id;
   std::vector<uint32_t> words;
   uint64_t seed = 7;
+  std::string trace;  ///< client trace tag (wire field; echoed back)
+  /// Internal, not wire data: the request's trace context, minted by the
+  /// frontend (or by Submit when absent) while tracing is enabled, so the
+  /// parse span and the daemon's queue/infer/respond spans share one
+  /// trace id.
+  obs::TraceContext trace_ctx;
 };
 
 /// One response line. `Format*` below render it; inference payload fields
 /// are only present when ok.
 struct ServeResponse {
   std::string id;
+  std::string trace;   ///< echoed client trace tag (may be empty)
   bool ok = false;
   std::string error;   ///< "bad_request" | "shed" | "draining" (when !ok)
   std::string detail;  ///< human-readable elaboration (when !ok)

@@ -47,6 +47,11 @@ struct ServeDaemonOptions {
   /// Worker pool for document fan-out *within* a batch (nullptr =
   /// sequential). Results are bit-identical either way.
   ThreadPool* pool = nullptr;
+  /// Slow-request threshold (seconds): an inference answered with
+  /// end-to-end latency ≥ this is logged at Warn (id, latency, queue wait,
+  /// batch size, generation), counted in serve.slow_requests, and flagged
+  /// in the flight recorder. 0 (default) disables the log.
+  double slow_request_s = 0;
 };
 
 class ServeDaemon {
@@ -87,6 +92,12 @@ class ServeDaemon {
 
   size_t pending() const { return batcher_.pending(); }
   bool draining() const { return batcher_.closed(); }
+
+  /// The {"op":"stats"} payload (docs/serving.md): daemon state (pending,
+  /// draining, slow_request_s) plus the full registry snapshot — labeled
+  /// per-endpoint latency histograms with percentiles included — under
+  /// "metrics", stamped with the metrics schema version.
+  std::string StatsPayloadJson() const;
 
  private:
   void DispatchLoop();

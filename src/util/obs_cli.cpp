@@ -1,0 +1,66 @@
+#include "util/obs_cli.hpp"
+
+#include <fstream>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+#include "util/signal.hpp"
+
+namespace culda {
+
+void ObsToolSupport::RegisterFlags(const CliFlags& flags) {
+  flags.GetString("metrics-out", "");
+  flags.GetString("trace-out", "");
+  flags.GetString("metrics-expose", "");
+  flags.GetDouble("export-interval-ms", 1000.0);
+}
+
+ObsToolSupport::ObsToolSupport(const CliFlags& flags) {
+  const std::string metrics_path = flags.GetString("metrics-out", "");
+  const std::string expose_path = flags.GetString("metrics-expose", "");
+  const double interval_ms = flags.GetDouble("export-interval-ms", 1000.0);
+  trace_path_ = flags.GetString("trace-out", "");
+  CULDA_CHECK_MSG(interval_ms >= 10.0,
+                  "--export-interval-ms must be >= 10, got " << interval_ms);
+
+  if (!metrics_path.empty()) sink_.Open(metrics_path);
+  if (!metrics_path.empty() || !expose_path.empty()) {
+    obs::Metrics().set_enabled(true);
+  }
+  if (!trace_path_.empty()) obs::SpanTracer::Global().set_enabled(true);
+
+  const bool any = !metrics_path.empty() || !expose_path.empty() ||
+                   !trace_path_.empty();
+  if (any) {
+    // An instrumented run gets the crash story too: recent spans/events
+    // ride the lock-free ring, and a fatal signal dumps them to stderr.
+    obs::FlightRecorder::Global().set_enabled(true);
+    InstallFatalDumpHandler();
+  }
+  if (!expose_path.empty()) {
+    obs::ExporterOptions opts;
+    opts.interval_s = interval_ms / 1000.0;
+    opts.expose_path = expose_path;
+    opts.sink = sink_.active() ? &sink_ : nullptr;
+    exporter_ = std::make_unique<obs::MetricsExporter>(std::move(opts));
+    exporter_->Start();
+  }
+}
+
+ObsToolSupport::~ObsToolSupport() { Shutdown(); }
+
+void ObsToolSupport::WriteHostTrace() const {
+  if (trace_path_.empty()) return;
+  std::ofstream out(trace_path_, std::ios::trunc);
+  CULDA_CHECK_MSG(out.good(),
+                  "cannot open '" << trace_path_ << "' for writing");
+  obs::WriteChromeTrace(obs::SpanTracer::Global(), out);
+}
+
+void ObsToolSupport::Shutdown() {
+  if (exporter_ != nullptr) exporter_->Stop();
+}
+
+}  // namespace culda

@@ -1,0 +1,70 @@
+// Shared observability flag surface for the tools.
+//
+// All four tools (culda_train, culda_infer, culda_topics, culda_serve)
+// accept the same observability flags; this helper is the one place their
+// meaning lives, instead of a per-tool copy of the setup block:
+//
+//   --metrics-out=P        JSONL metrics sink (header line + snapshots;
+//                          enables the registry)
+//   --trace-out=P          host wall-clock spans as Chrome trace JSON
+//                          (enables the tracer)
+//   --metrics-expose=P     Prometheus text-exposition file, atomically
+//                          replaced every --export-interval-ms by a
+//                          background exporter (enables the registry)
+//   --export-interval-ms=N exporter period (default 1000)
+//
+// Constructing ObsToolSupport reads the flags and arms everything: sink,
+// registry, tracer, the live exporter, and — whenever any observability
+// is on — the flight recorder plus the fatal-signal dump handler
+// (util/signal.hpp), so a crashed instrumented run leaves a last-N-events
+// report on stderr. Shutdown() (idempotent, also run by the destructor)
+// stops the exporter with one final export; tools call it after their
+// last milestone snapshot so the exposed file reflects the final state —
+// for the serving daemon, after the SIGTERM drain.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/sink.hpp"
+#include "util/cli.hpp"
+
+namespace culda {
+
+class ObsToolSupport {
+ public:
+  /// Marks the observability flags as read — tools call this alongside
+  /// their other flag reads so RejectUnknownFlags reports typos as usage
+  /// errors — without arming anything. The real ObsToolSupport is
+  /// constructed after the usage check passes.
+  static void RegisterFlags(const CliFlags& flags);
+
+  explicit ObsToolSupport(const CliFlags& flags);
+  ~ObsToolSupport();
+  ObsToolSupport(const ObsToolSupport&) = delete;
+  ObsToolSupport& operator=(const ObsToolSupport&) = delete;
+
+  /// The JSONL sink (inactive unless --metrics-out was given). Tools write
+  /// their milestone snapshots here as before.
+  obs::JsonlSink& sink() { return sink_; }
+
+  bool tracing() const { return !trace_path_.empty(); }
+  const std::string& trace_path() const { return trace_path_; }
+
+  /// Writes the tracer's spans as a host-only Chrome trace to
+  /// --trace-out. No-op without the flag. Tools with a simulated device
+  /// timeline (culda_train) write a merged trace themselves instead,
+  /// using trace_path().
+  void WriteHostTrace() const;
+
+  /// Stops the exporter (final export included). Idempotent.
+  void Shutdown();
+
+ private:
+  std::string trace_path_;
+  obs::JsonlSink sink_;
+  std::unique_ptr<obs::MetricsExporter> exporter_;
+};
+
+}  // namespace culda

@@ -2,6 +2,12 @@
 
 #include <csignal>
 
+#include "obs/flight_recorder.hpp"
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
 namespace culda {
 
 namespace {
@@ -13,6 +19,36 @@ namespace {
 volatile std::sig_atomic_t g_shutdown_signal = 0;
 
 extern "C" void CuldaShutdownHandler(int sig) { g_shutdown_signal = sig; }
+
+#if !defined(_WIN32)
+void WriteRaw(const char* s) {
+  size_t n = 0;
+  while (s[n] != '\0') ++n;
+  // Best-effort; a failed stderr write mid-crash has no recourse.
+  [[maybe_unused]] const ssize_t rc = ::write(2, s, n);
+}
+
+extern "C" void CuldaFatalDumpHandler(int sig) {
+  // Everything here is async-signal-safe: raw writes plus the flight
+  // recorder's atomics-only dump. SA_RESETHAND restored the default
+  // disposition before we ran, so the re-raise below dies for real.
+  WriteRaw("\n== culda: fatal signal ");
+  char digits[4];
+  int n = 0;
+  int v = sig;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0 && n < 3);
+  while (n > 0) {
+    const char c[2] = {digits[--n], '\0'};
+    WriteRaw(c);
+  }
+  WriteRaw(" ==\n");
+  obs::FlightRecorder::Global().DumpToFd(2);
+  raise(sig);
+}
+#endif
 
 }  // namespace
 
@@ -29,6 +65,21 @@ void InstallShutdownHandler() {
   sa.sa_flags = 0;
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+#endif
+}
+
+void InstallFatalDumpHandler() {
+#if !defined(_WIN32)
+  struct sigaction sa = {};
+  sa.sa_handler = CuldaFatalDumpHandler;
+  sigemptyset(&sa.sa_mask);
+  // SA_RESETHAND: one shot — the handler dumps, then the re-raise hits the
+  // default disposition (a recursive fault inside the dump also dies
+  // instead of looping). SA_NODEFER is unnecessary with the re-raise
+  // pattern since the signal is blocked only while the handler runs.
+  sa.sa_flags = SA_RESETHAND;
+  const int fatal[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+  for (const int sig : fatal) sigaction(sig, &sa, nullptr);
 #endif
 }
 

@@ -39,4 +39,12 @@ int ShutdownSignal();
 /// Clears the flag (tests that simulate a signal via std::raise).
 void ResetShutdownFlag();
 
+/// Installs handlers for fatal signals (SIGSEGV, SIGBUS, SIGFPE, SIGILL,
+/// SIGABRT) that dump the obs flight recorder's last-N-events report to
+/// stderr and then re-raise with the default disposition, so the usual
+/// death (core dump, nonzero exit) still happens. The dump path is
+/// async-signal-safe (obs/flight_recorder.hpp). Idempotent; installed by
+/// tools alongside observability setup.
+void InstallFatalDumpHandler();
+
 }  // namespace culda

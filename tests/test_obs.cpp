@@ -15,6 +15,7 @@
 #include "core/model_io.hpp"
 #include "core/trainer.hpp"
 #include "corpus/synthetic.hpp"
+#include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "obs/sink.hpp"
 #include "util/thread_pool.hpp"
@@ -137,6 +138,130 @@ TEST_F(ObsTest, MacrosRecordOnlyWhenEnabled) {
 #endif
 }
 
+TEST_F(ObsTest, LabeledMetricsAreDistinctSeries) {
+  Metrics().GetCounter("obs_test.ops", "op", "infer").Add(3);
+  Metrics().GetCounter("obs_test.ops", "op", "stats").Add(1);
+  Metrics().GetCounter("obs_test.ops", "op", "infer").Add(2);
+  EXPECT_EQ(Metrics().GetCounter("obs_test.ops", "op", "infer").value(), 5u);
+  EXPECT_EQ(Metrics().GetCounter("obs_test.ops", "op", "stats").value(), 1u);
+  // The canonical series name is name{key=value}.
+  EXPECT_EQ(MetricsRegistry::LabeledName("obs_test.ops", "op", "infer"),
+            "obs_test.ops{op=infer}");
+  const auto samples = Metrics().CollectSamples();
+  size_t labeled = 0;
+  for (const auto& [name, value] : samples.counters) {
+    if (name.rfind("obs_test.ops{", 0) == 0) ++labeled;
+  }
+  EXPECT_EQ(labeled, 2u);
+}
+
+TEST_F(ObsTest, LabelCardinalityIsBoundedWithOverflowFold) {
+  for (int i = 0; i < 100; ++i) {
+    Metrics()
+        .GetCounter("obs_test.cardinality", "client",
+                    "c" + std::to_string(i))
+        .Add(1);
+  }
+  // Only kMaxLabelValues distinct values get their own series; the rest
+  // fold into {client=overflow} so a hostile label can't grow the registry
+  // without bound.
+  uint64_t total = 0;
+  size_t series = 0;
+  for (const auto& [name, value] : Metrics().CollectSamples().counters) {
+    if (name.rfind("obs_test.cardinality{", 0) == 0) {
+      ++series;
+      total += value;
+    }
+  }
+  EXPECT_EQ(series, MetricsRegistry::kMaxLabelValues + 1);  // + overflow
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(Metrics()
+                .GetCounter("obs_test.cardinality", "client", "overflow")
+                .value(),
+            100u - MetricsRegistry::kMaxLabelValues);
+}
+
+TEST_F(ObsTest, LabeledMacrosRecordUnderTheLabeledName) {
+  for (int i = 0; i < 3; ++i) {
+    CULDA_OBS_COUNT_L("obs_test.macro_ops", "op", "infer", 1);
+    CULDA_OBS_HIST_L("obs_test.macro_lat", "op", "infer", 0.001);
+  }
+#ifdef CULDA_OBS_OFF
+  EXPECT_EQ(
+      Metrics().GetCounter("obs_test.macro_ops", "op", "infer").value(), 0u);
+#else
+  EXPECT_EQ(
+      Metrics().GetCounter("obs_test.macro_ops", "op", "infer").value(), 3u);
+  EXPECT_EQ(Metrics()
+                .GetHistogram("obs_test.macro_lat", "op", "infer")
+                .Snapshot()
+                .count,
+            3u);
+#endif
+}
+
+TEST(ObsTraceContext, IdsAreUniqueAndNonZero) {
+  const TraceContext a = NewRequestContext();
+  const TraceContext b = NewRequestContext();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+  EXPECT_EQ(a.parent_span_id, 0u);
+}
+
+TEST(ObsTraceContext, ClientTraceHashesDeterministically) {
+  const TraceContext a = NewRequestContext("req-abc");
+  const TraceContext b = NewRequestContext("req-abc");
+  const TraceContext c = NewRequestContext("req-xyz");
+  // Same client trace string → same trace id (so retries correlate), but
+  // fresh span ids each time.
+  EXPECT_EQ(a.trace_id, b.trace_id);
+  EXPECT_NE(a.trace_id, c.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+}
+
+TEST(ObsTraceContext, ChildInheritsTraceAndLinksParent) {
+  const TraceContext parent = NewRequestContext();
+  const TraceContext child = ChildContext(parent);
+  EXPECT_EQ(child.trace_id, parent.trace_id);
+  EXPECT_EQ(child.parent_span_id, parent.span_id);
+  EXPECT_NE(child.span_id, parent.span_id);
+}
+
+TEST_F(ObsTest, ScopedSpanPropagatesContextToNestedSpans) {
+  const TraceContext request = NewRequestContext();
+  {
+    ScopedSpan outer("ctx_outer", request);
+    // A plain nested span picks the active context up from the thread
+    // local — this is how engine-internal spans join a request's trace.
+    ScopedSpan inner("ctx_inner");
+    EXPECT_EQ(inner.ctx().trace_id, request.trace_id);
+    EXPECT_EQ(inner.ctx().parent_span_id, outer.ctx().span_id);
+  }
+  // The thread-local is restored on unwind.
+  EXPECT_FALSE(CurrentTraceContext().valid());
+  const auto events = SpanTracer::Global().CollectEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].ctx.trace_id, request.trace_id);
+  EXPECT_EQ(events[1].ctx.trace_id, request.trace_id);
+  EXPECT_EQ(events[1].ctx.parent_span_id, request.span_id);
+}
+
+TEST_F(ObsTest, ChromeJsonCarriesTraceIdsAndLinks) {
+  SpanTracer& tracer = SpanTracer::Global();
+  const TraceContext request = NewRequestContext();
+  tracer.RecordSpan("linked", 0.001, 0.002, ChildContext(request),
+                    /*link_span_id=*/0x1234u);
+  std::ostringstream out;
+  WriteChromeTrace(tracer, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("\"trace\":"), std::string::npos);
+  EXPECT_NE(s.find("\"span\":"), std::string::npos);
+  EXPECT_NE(s.find("\"parent\":"), std::string::npos);
+  EXPECT_NE(s.find("\"link\":\"0000000000001234\""), std::string::npos);
+}
+
 TEST_F(ObsTest, SpanNestingIsContainedAndInDestructionOrder) {
   {
     ScopedSpan outer("outer");
@@ -202,7 +327,9 @@ TEST_F(ObsTest, JsonlSinkWritesOneSchemaStampedLinePerSnapshot) {
   std::vector<std::string> lines;
   for (std::string line; std::getline(in, line);) lines.push_back(line);
   std::remove(path.c_str());
-  ASSERT_EQ(lines.size(), 2u);
+  // v3: the sink opens with a schema header line, then one line per
+  // snapshot — every line self-identifies its schema version.
+  ASSERT_EQ(lines.size(), 3u);
   for (const auto& line : lines) {
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
@@ -210,9 +337,11 @@ TEST_F(ObsTest, JsonlSinkWritesOneSchemaStampedLinePerSnapshot) {
                         "\""),
               std::string::npos);
   }
-  EXPECT_NE(lines[0].find("\"kind\":\"test_kind\""), std::string::npos);
-  EXPECT_NE(lines[0].find("\"iteration\":3"), std::string::npos);
-  EXPECT_NE(lines[0].find("\"obs_test.sink_counter\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"kind\":\"header\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"kind\":\"test_kind\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"iteration\":3"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"obs_test.sink_counter\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"kind\":\"test_kind2\""), std::string::npos);
 }
 
 TEST(ObsSink, InactiveSinkIsANoOp) {
@@ -291,25 +420,44 @@ TEST(ObsBitIdentity, MetricsAndTracingChangeNoNumericResult) {
   // Baseline: everything off (the global default).
   Metrics().set_enabled(false);
   SpanTracer::Global().set_enabled(false);
+  FlightRecorder::Global().set_enabled(false);
   const RunResult off = TrainAndInfer(/*instrumented=*/false);
 
-  // Instrumented: metrics + tracing + device trace recording all on.
+  // Instrumented: the full telemetry plane — metrics + tracing + device
+  // trace recording + flight recorder + a live exporter snapshotting the
+  // registry concurrently with the run.
   Metrics().ResetValues();
   Metrics().set_enabled(true);
   SpanTracer::Global().Reset();
   SpanTracer::Global().set_enabled(true);
-  const RunResult on = TrainAndInfer(/*instrumented=*/true);
+  FlightRecorder::Global().Clear();
+  FlightRecorder::Global().set_enabled(true);
+  const std::string expose_path =
+      ::testing::TempDir() + "obs_bit_identity.prom";
+  RunResult on;
+  {
+    ExporterOptions eopts;
+    eopts.interval_s = 0.01;
+    eopts.expose_path = expose_path;
+    MetricsExporter exporter(eopts);
+    exporter.Start();
+    on = TrainAndInfer(/*instrumented=*/true);
+  }  // Stop() + final export
 
   // The instrumented run must actually have observed something…
 #ifndef CULDA_OBS_OFF
   EXPECT_GT(Metrics().GetCounter("train.iterations").value(), 0u);
   EXPECT_GT(SpanTracer::Global().span_count(), 0u);
+  EXPECT_GT(FlightRecorder::Global().recorded(), 0u);
 #endif
+  std::remove(expose_path.c_str());
 
   Metrics().set_enabled(false);
   Metrics().ResetValues();
   SpanTracer::Global().set_enabled(false);
   SpanTracer::Global().Reset();
+  FlightRecorder::Global().set_enabled(false);
+  FlightRecorder::Global().Clear();
 
   // …and changed nothing: model bytes, z, inference output, perplexity.
   EXPECT_EQ(off.model_bytes, on.model_bytes);

@@ -1,0 +1,337 @@
+// Tests for the live telemetry plane (src/obs/export, flight_recorder):
+// Prometheus name mapping and text exposition, atomic file replacement,
+// exporter thread lifecycle under concurrent recorders, the JSONL sink
+// under concurrent writers, and the flight recorder's ring/dump semantics
+// including the fatal-signal path.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "util/signal.hpp"
+
+#if defined(__SANITIZE_THREAD__)
+#define CULDA_TEST_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define CULDA_TEST_TSAN 1
+#endif
+#endif
+
+namespace culda::obs {
+namespace {
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(PromName, MapsDotsAndPrefixesAndLabels) {
+  const PromName plain = PrometheusName("train.tokens_sampled");
+  EXPECT_EQ(plain.name, "culda_train_tokens_sampled");
+  EXPECT_EQ(plain.label, "");
+
+  const PromName labeled =
+      PrometheusName("serve.request.latency{op=infer}");
+  EXPECT_EQ(labeled.name, "culda_serve_request_latency");
+  EXPECT_EQ(labeled.label, "op=\"infer\"");
+}
+
+TEST(PromText, GroupsSeriesUnderOneTypeLineAndEndsWithEof) {
+  MetricsRegistry reg;
+  reg.GetCounter("t.requests", "op", "infer").Add(5);
+  reg.GetCounter("t.requests", "op", "stats").Add(2);
+  reg.GetGauge("t.pending").Set(3.5);
+
+  std::ostringstream out;
+  WritePrometheusText(reg, out);
+  const std::string s = out.str();
+
+  // Both labeled series expose under the same base name with ONE TYPE line
+  // (map order sorts labeled variants adjacently).
+  size_t type_lines = 0, pos = 0;
+  while ((pos = s.find("# TYPE culda_t_requests counter", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u);
+  EXPECT_NE(s.find("culda_t_requests{op=\"infer\"} 5"), std::string::npos);
+  EXPECT_NE(s.find("culda_t_requests{op=\"stats\"} 2"), std::string::npos);
+  EXPECT_NE(s.find("# TYPE culda_t_pending gauge"), std::string::npos);
+  EXPECT_NE(s.find("culda_t_pending 3.5"), std::string::npos);
+  // The completeness marker is the last thing in the stream.
+  ASSERT_GE(s.size(), 6u);
+  EXPECT_EQ(s.substr(s.size() - 6), "# EOF\n");
+}
+
+TEST(PromText, HistogramsExpandToCumulativeBuckets) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("t.latency");
+  h.Record(2e-6);
+  h.Record(2e-6);
+  h.Record(1e-3);
+
+  std::ostringstream out;
+  WritePrometheusText(reg, out);
+  const std::string s = out.str();
+
+  EXPECT_NE(s.find("# TYPE culda_t_latency histogram"), std::string::npos);
+  // Buckets are cumulative; the +Inf bucket equals the sample count.
+  EXPECT_NE(s.find("culda_t_latency_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(s.find("culda_t_latency_count 3"), std::string::npos);
+  EXPECT_NE(s.find("culda_t_latency_sum "), std::string::npos);
+
+  // Cumulative monotonicity across every bucket line.
+  uint64_t prev = 0;
+  size_t pos = 0;
+  while ((pos = s.find("culda_t_latency_bucket{", pos)) !=
+         std::string::npos) {
+    const size_t sp = s.find("} ", pos);
+    ASSERT_NE(sp, std::string::npos);
+    const uint64_t v = std::strtoull(s.c_str() + sp + 2, nullptr, 10);
+    EXPECT_GE(v, prev);
+    prev = v;
+    pos = sp;
+  }
+  EXPECT_EQ(prev, 3u);
+}
+
+TEST(PromFile, WritesAtomicallyAndLeavesNoTempBehind) {
+  const std::string path = ::testing::TempDir() + "prom_file_test.prom";
+  MetricsRegistry reg;
+  reg.GetCounter("t.count").Add(1);
+  WritePrometheusFile(reg, path);
+  const std::string s = ReadAll(path);
+  EXPECT_NE(s.find("culda_t_count 1"), std::string::npos);
+  EXPECT_NE(s.find("# EOF"), std::string::npos);
+  // The temp file was renamed over the target, not left beside it.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+
+  // Rewriting replaces the content completely.
+  reg.GetCounter("t.count").Add(1);
+  WritePrometheusFile(reg, path);
+  EXPECT_NE(ReadAll(path).find("culda_t_count 2"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Exporter, LifecycleIsIdempotentAndFinalExportRunsOnStop) {
+  const std::string path = ::testing::TempDir() + "exporter_lifecycle.prom";
+  MetricsRegistry reg;
+  reg.GetCounter("t.exported").Add(1);
+
+  ExporterOptions opts;
+  opts.interval_s = 0.01;
+  opts.expose_path = path;
+  MetricsExporter exporter(opts, reg);
+  exporter.Start();
+  exporter.Start();  // idempotent
+  // The value written after the last periodic export must still appear in
+  // the file: Stop() runs one final export.
+  reg.GetCounter("t.exported").Add(41);
+  exporter.Stop();
+  exporter.Stop();  // idempotent
+  const uint64_t n = exporter.exports();
+  EXPECT_GE(n, 1u);
+  exporter.Stop();
+  EXPECT_EQ(exporter.exports(), n);  // no further exports after Stop
+  EXPECT_NE(ReadAll(path).find("culda_t_exported 42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Exporter, StopWithoutStartStillExportsOnce) {
+  const std::string path = ::testing::TempDir() + "exporter_nostart.prom";
+  MetricsRegistry reg;
+  reg.GetCounter("t.lazy").Add(7);
+  {
+    ExporterOptions opts;
+    opts.expose_path = path;
+    MetricsExporter exporter(opts, reg);
+  }  // destructor → Stop → final export, no thread ever started
+  EXPECT_NE(ReadAll(path).find("culda_t_lazy 7"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Exporter, ExposesWellFormedFilesUnderConcurrentRecorders) {
+  const std::string path = ::testing::TempDir() + "exporter_concurrent.prom";
+  MetricsRegistry reg;
+
+  ExporterOptions opts;
+  opts.interval_s = 0.001;  // export as fast as possible
+  opts.expose_path = path;
+  MetricsExporter exporter(opts, reg);
+  exporter.Start();
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> recorders;
+  for (int t = 0; t < 4; ++t) {
+    recorders.emplace_back([&reg, &stop, t] {
+      Counter& c = reg.GetCounter("t.spin", "thread", std::to_string(t));
+      Histogram& h = reg.GetHistogram("t.spin_lat");
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.Add(1);
+        h.Record(1e-6);
+      }
+    });
+  }
+  // Read the exposed file repeatedly while exports race the recorders: the
+  // atomic rename means every read sees a complete exposition (ends in the
+  // # EOF marker), never a torn half-write.
+  size_t reads = 0;
+  for (int i = 0; i < 2000 && reads < 25; ++i) {
+    const std::string s = ReadAll(path);
+    if (s.empty()) {
+      // First export may not have landed yet; give the exporter a beat.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    ++reads;
+    ASSERT_GE(s.size(), 6u);
+    EXPECT_EQ(s.substr(s.size() - 6), "# EOF\n") << "torn exposition file";
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : recorders) t.join();
+  exporter.Stop();
+  EXPECT_GT(reads, 0u);
+  EXPECT_GE(exporter.exports(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlSinkConcurrency, ConcurrentSnapshotsStayLineAtomic) {
+  const std::string path = ::testing::TempDir() + "sink_concurrent.jsonl";
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  {
+    JsonlSink sink(path);
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t) {
+      writers.emplace_back([&sink, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          JsonObject fields;
+          fields.Add("thread", static_cast<uint64_t>(t))
+              .Add("i", static_cast<uint64_t>(i));
+          sink.WriteSnapshot("concurrent_test", std::move(fields));
+        }
+      });
+    }
+    for (auto& t : writers) t.join();
+  }
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  std::remove(path.c_str());
+  ASSERT_EQ(lines.size(), 1u + kThreads * kPerThread);  // header + snapshots
+  EXPECT_NE(lines[0].find("\"kind\":\"header\""), std::string::npos);
+  for (const auto& line : lines) {
+    // Interleaved writes would tear these invariants.
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"schema\":\"culda.metrics.v3\""),
+              std::string::npos);
+  }
+}
+
+std::string DumpViaPipe(const FlightRecorder& recorder) {
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  recorder.DumpToFd(fds[1]);
+  ::close(fds[1]);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof(buf))) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fds[0]);
+  return out;
+}
+
+TEST(FlightRecorderTest, DisabledRecordsNothing) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Clear();
+  fr.set_enabled(false);
+  fr.Record("invisible");
+  EXPECT_EQ(fr.recorded(), 0u);
+}
+
+TEST(FlightRecorderTest, RingRetainsLastEventsAndReportsDrops) {
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Clear();
+  fr.set_enabled(true);
+  // Overfill the ring: only the newest kSlots survive.
+  const size_t total = FlightRecorder::kSlots + 40;
+  for (size_t i = 0; i < total; ++i) {
+    fr.Record("flight_test/event", 0.001, /*trace_id=*/0xabcdefu);
+  }
+  EXPECT_EQ(fr.recorded(), total);
+  const std::string dump = DumpViaPipe(fr);
+  fr.set_enabled(false);
+  fr.Clear();
+
+  EXPECT_NE(dump.find("flight recorder"), std::string::npos);
+  EXPECT_NE(dump.find("296 events recorded"), std::string::npos);
+  EXPECT_NE(dump.find("256 retained"), std::string::npos);
+  EXPECT_NE(dump.find("flight_test/event"), std::string::npos);
+  EXPECT_NE(dump.find("trace=0000000000abcdef"), std::string::npos);
+  // Oldest-first: the first retained stamp is total - kSlots + 1.
+  EXPECT_NE(dump.find("#41 "), std::string::npos);
+  EXPECT_NE(dump.find("#296 "), std::string::npos);
+  EXPECT_EQ(dump.find("#40 "), std::string::npos);
+}
+
+TEST(FlightRecorderTest, InternBoundFoldsIntoOther) {
+  // A private recorder can't be constructed (Global() only), so exercise
+  // the bound by exhausting the global table's remaining capacity.
+  FlightRecorder& fr = FlightRecorder::Global();
+  fr.Clear();
+  fr.set_enabled(true);
+  uint32_t last = 0;
+  for (size_t i = 0; i < FlightRecorder::kMaxNames + 8; ++i) {
+    last = fr.Intern("flight_bound/n" + std::to_string(i));
+  }
+  EXPECT_EQ(last, 0u);  // the "<other>" bucket
+  fr.Record(last);
+  const std::string dump = DumpViaPipe(fr);
+  EXPECT_NE(dump.find("<other>"), std::string::npos);
+  fr.set_enabled(false);
+  fr.Clear();
+}
+
+// The fatal-signal path forks (gtest death test), raises a real signal, and
+// must produce the flight-recorder report on stderr before dying with the
+// original signal. TSan's interceptors change signal/death semantics, so
+// the death test only runs in plain builds.
+#if !defined(CULDA_TEST_TSAN) && defined(GTEST_HAS_DEATH_TEST)
+TEST(FlightRecorderDeathTest, FatalSignalDumpsRecentEvents) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        FlightRecorder& fr = FlightRecorder::Global();
+        fr.set_enabled(true);
+        fr.Record("fatal_test/before_crash", 0.002, 0x1234u);
+        InstallFatalDumpHandler();
+        std::abort();
+      },
+      "fatal_test/before_crash");
+}
+#endif
+
+}  // namespace
+}  // namespace culda::obs

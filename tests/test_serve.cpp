@@ -16,6 +16,9 @@
 #include "core/snapshot.hpp"
 #include "core/trainer.hpp"
 #include "corpus/synthetic.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/batcher.hpp"
 #include "serve/frontend.hpp"
 #include "serve/protocol.hpp"
@@ -128,6 +131,50 @@ TEST(Protocol, FormatOkResponseIsStable) {
   EXPECT_EQ(line,
             R"({"id":"r1","ok":true,"generation":3,"tokens":2,)"
             R"("topics":[[4,0.5],[9,0.25]],"assignments":[4,9]})");
+}
+
+TEST(Protocol, ParsesAndEchoesTrace) {
+  const auto p =
+      ParseRequestLine(R"({"id":"r1","words":[1],"trace":"req-7f"})");
+  ASSERT_EQ(p.kind, LineKind::kInfer);
+  EXPECT_EQ(p.request.trace, "req-7f");
+
+  // The echo sits right after "id" on ok and error lines alike, so the
+  // daemon and --oneshot paths stay byte-identical.
+  ServeResponse ok;
+  ok.id = "r1";
+  ok.trace = "req-7f";
+  ok.ok = true;
+  ok.generation = 1;
+  EXPECT_EQ(FormatResponse(ok).rfind(R"({"id":"r1","trace":"req-7f",)", 0),
+            0u);
+  ServeResponse err = MakeErrorResponse("r1", "shed", "queue full");
+  err.trace = "req-7f";
+  EXPECT_EQ(FormatResponse(err).rfind(R"({"id":"r1","trace":"req-7f",)", 0),
+            0u);
+  // No trace → no field.
+  EXPECT_EQ(FormatResponse(MakeErrorResponse("r1", "shed", "x"))
+                .find("\"trace\""),
+            std::string::npos);
+}
+
+TEST(Protocol, TraceFieldIsStrict) {
+  const char* bad[] = {
+      R"({"id":"r","words":[1],"trace":""})",          // empty
+      R"({"id":"r","words":[1],"trace":7})",           // not a string
+      R"({"id":"r","words":[1],"trace":"a","trace":"b"})",  // duplicate
+      R"({"op":"drain","trace":"a"})",                 // control op
+  };
+  for (const char* line : bad) {
+    const auto p = ParseRequestLine(line);
+    EXPECT_EQ(p.kind, LineKind::kError) << line;
+    EXPECT_FALSE(p.error.empty()) << line;
+  }
+  // Over the 128-byte cap.
+  const std::string long_trace(200, 'x');
+  const auto p = ParseRequestLine(R"({"id":"r","words":[1],"trace":")" +
+                                  long_trace + R"("})");
+  EXPECT_EQ(p.kind, LineKind::kError);
 }
 
 // ------------------------------------------------------------- batcher
@@ -355,6 +402,136 @@ TEST(Daemon, PublishSwapsGeneration) {
   req2.id = "b";
   req2.words = {2, 3};
   EXPECT_EQ(daemon.Submit(req2).get().generation, 2u);
+}
+
+TEST(Daemon, RequestSpansShareOneTraceAndLinkTheBatch) {
+  obs::SpanTracer& tracer = obs::SpanTracer::Global();
+  tracer.Reset();
+  tracer.set_enabled(true);
+  uint64_t want_trace = 0;
+  {
+    ServeDaemonOptions opts;
+    opts.iterations = 5;
+    ServeDaemon daemon(opts, TestSnapshot());
+
+    ServeRequest req;
+    req.id = "traced";
+    req.words = {1, 2, 3};
+    req.trace_ctx = obs::NewRequestContext("client-trace-1");
+    want_trace = req.trace_ctx.trace_id;
+    ASSERT_TRUE(daemon.Submit(req).get().ok);
+  }
+  // Collect only after the daemon is destroyed: the response future is
+  // fulfilled *before* the dispatcher records the respond/batch spans, so
+  // reading the tracer right after .get() races the dispatch thread. The
+  // destructor joins it, making the event list complete.
+  //
+  // The request's life — queue wait, inference, respond — shares the
+  // request's trace id, and the queue/infer spans carry a link into the
+  // shared batch span (which has its own trace).
+  const auto events = tracer.CollectEvents();
+  uint64_t batch_trace = 0;
+  bool saw_queue = false, saw_infer = false, saw_respond = false;
+  for (const auto& e : events) {
+    if (e.name == "serve/batch") batch_trace = e.ctx.trace_id;
+  }
+  EXPECT_NE(batch_trace, 0u);
+  for (const auto& e : events) {
+    if (e.name == "serve/queue_wait") {
+      saw_queue = true;
+      EXPECT_EQ(e.ctx.trace_id, want_trace);
+      EXPECT_NE(e.link_span_id, 0u);
+    }
+    if (e.name == "serve/infer") {
+      saw_infer = true;
+      EXPECT_EQ(e.ctx.trace_id, want_trace);
+      EXPECT_NE(e.link_span_id, 0u);
+    }
+    if (e.name == "serve/respond") {
+      saw_respond = true;
+      EXPECT_EQ(e.ctx.trace_id, want_trace);
+    }
+  }
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_infer);
+  EXPECT_TRUE(saw_respond);
+  tracer.set_enabled(false);
+  tracer.Reset();
+}
+
+TEST(Daemon, SubmitMintsContextWhenFrontendDidNot) {
+  obs::SpanTracer& tracer = obs::SpanTracer::Global();
+  tracer.Reset();
+  tracer.set_enabled(true);
+  {
+    ServeDaemonOptions opts;
+    opts.iterations = 5;
+    ServeDaemon daemon(opts, TestSnapshot());
+    ServeRequest req;
+    req.id = "embedded";
+    req.words = {1};
+    ASSERT_TRUE(daemon.Submit(req).get().ok);  // no ctx pre-minted
+  }
+  // Collected after the destructor joins the dispatcher (span recording
+  // races the fulfilled future otherwise).
+  bool saw_infer = false;
+  for (const auto& e : tracer.CollectEvents()) {
+    if (e.name == "serve/infer") {
+      saw_infer = true;
+      EXPECT_NE(e.ctx.trace_id, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_infer);
+  tracer.set_enabled(false);
+  tracer.Reset();
+}
+
+TEST(Daemon, SlowRequestThresholdCountsAndRecords) {
+  obs::Metrics().ResetValues();
+  obs::Metrics().set_enabled(true);
+  obs::FlightRecorder::Global().Clear();
+  obs::FlightRecorder::Global().set_enabled(true);
+  {
+    ServeDaemonOptions opts;
+    opts.iterations = 5;
+    opts.slow_request_s = 1e-12;  // everything is "slow"
+    ServeDaemon daemon(opts, TestSnapshot());
+    ServeRequest req;
+    req.id = "slow";
+    req.words = {1, 2};
+    ASSERT_TRUE(daemon.Submit(req).get().ok);
+  }
+  EXPECT_GE(obs::Metrics().GetCounter("serve.slow_requests").value(), 1u);
+  EXPECT_GE(obs::FlightRecorder::Global().recorded(), 1u);
+  obs::FlightRecorder::Global().set_enabled(false);
+  obs::FlightRecorder::Global().Clear();
+  obs::Metrics().set_enabled(false);
+  obs::Metrics().ResetValues();
+}
+
+TEST(Daemon, StatsPayloadCarriesPerEndpointHistograms) {
+  obs::Metrics().ResetValues();
+  obs::Metrics().set_enabled(true);
+  {
+    ServeDaemonOptions opts;
+    opts.iterations = 5;
+    ServeDaemon daemon(opts, TestSnapshot());
+    ServeRequest req;
+    req.id = "h";
+    req.words = {1};
+    ASSERT_TRUE(daemon.Submit(req).get().ok);
+    const std::string payload = daemon.StatsPayloadJson();
+    EXPECT_NE(payload.find("\"schema\":\"culda.metrics.v3\""),
+              std::string::npos);
+    EXPECT_NE(payload.find("\"pending\""), std::string::npos);
+    EXPECT_NE(payload.find("\"draining\""), std::string::npos);
+    // The per-endpoint labeled histogram with its percentile summary.
+    EXPECT_NE(payload.find("\"serve.request.latency{op=infer}\""),
+              std::string::npos);
+    EXPECT_NE(payload.find("\"p99\""), std::string::npos);
+  }
+  obs::Metrics().set_enabled(false);
+  obs::Metrics().ResetValues();
 }
 
 // ------------------------------------------------------------ frontend

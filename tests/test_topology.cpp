@@ -346,9 +346,14 @@ TEST(Placement, WorkerArenasAreDistinctPerSlotAndStable) {
   };
   collect(round1);
   collect(round2);
-  // Distinct slots → distinct arenas; the caller (slot 0) participates, so
-  // at least one slot is always populated.
-  ASSERT_NE(round1[0].load(), nullptr);
+  // Distinct slots → distinct arenas. The caller (slot 0) usually claims a
+  // shard too, but shard claiming is dynamic: under machine load the
+  // workers may drain the whole range first, so only the slots that
+  // actually ran are asserted on (some slot always does — every index
+  // executes somewhere).
+  size_t populated = 0;
+  for (const auto& p : round1) populated += p.load() != nullptr ? 1 : 0;
+  ASSERT_GT(populated, 0u);
   for (size_t i = 0; i < round1.size(); ++i) {
     for (size_t j = i + 1; j < round1.size(); ++j) {
       if (round1[i].load() && round1[j].load()) {

@@ -29,6 +29,8 @@
 //   --metrics-out=P   JSONL metrics: one snapshot per batch (latency
 //                     percentiles, tokens/s) + a final summary
 //   --trace-out=P     host wall-clock spans as Chrome trace JSON
+//   --metrics-expose=P / --export-interval-ms=N   live Prometheus text
+//                     exposition via the shared ObsToolSupport helper
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -42,6 +44,7 @@
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/obs_cli.hpp"
 #include "util/signal.hpp"
 #include "util/stopwatch.hpp"
 #include "util/thread_pool.hpp"
@@ -78,6 +81,9 @@ Observability (docs/observability.md):
   --log-level=L     debug | info | warn | error | off;  --quiet = warn
   --metrics-out=P   JSONL metrics per batch + summary
   --trace-out=P     host wall-clock spans as Chrome trace JSON
+  --metrics-expose=P        Prometheus text exposition, atomically
+                            rewritten by a background exporter
+  --export-interval-ms=N    exporter period (default 1000)
 
 Exit codes: 0 success, 1 input error, 2 CLI usage error, 3 internal error,
 4 interrupted by SIGINT/SIGTERM after flushing the current batch.
@@ -152,8 +158,7 @@ int main(int argc, char** argv) {
     const int64_t mh_cycles = flags.GetInt("mh-cycles", 1);
     const std::string heldout = flags.GetString("heldout-uci", "");
     const std::string vocab_path = flags.GetString("vocab", "");
-    const std::string metrics_path = flags.GetString("metrics-out", "");
-    const std::string trace_path = flags.GetString("trace-out", "");
+    ObsToolSupport::RegisterFlags(flags);
     if (const int rc = flags.RejectUnknownFlags(kUsage)) return rc;
 
     CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
@@ -192,20 +197,9 @@ int main(int argc, char** argv) {
     if (workers > 0) options.pool = &pool;
     const core::InferenceEngine engine(model, cfg, options);
 
-    obs::JsonlSink metrics_sink;
-    if (!metrics_path.empty()) {
-      metrics_sink.Open(metrics_path);
-      obs::Metrics().set_enabled(true);
-    }
-    if (!trace_path.empty()) obs::SpanTracer::Global().set_enabled(true);
     // Serving has no simulated devices, so the trace is host-spans only.
-    const auto write_trace = [&] {
-      if (trace_path.empty()) return;
-      std::ofstream trace_out(trace_path, std::ios::trunc);
-      CULDA_CHECK_MSG(trace_out.good(),
-                      "cannot open '" << trace_path << "' for writing");
-      obs::WriteChromeTrace(obs::SpanTracer::Global(), trace_out);
-    };
+    ObsToolSupport obs_support(flags);
+    obs::JsonlSink& metrics_sink = obs_support.sink();
 
     if (!heldout.empty()) {
       const corpus::Corpus ho = corpus::ReadUciBagOfWordsFile(heldout);
@@ -219,7 +213,8 @@ int main(int argc, char** argv) {
             .Add("perplexity", perplexity);
         metrics_sink.WriteSnapshot("infer_perplexity", std::move(fields));
       }
-      write_trace();
+      obs_support.Shutdown();
+      obs_support.WriteHostTrace();
       return 0;
     }
 
@@ -262,7 +257,8 @@ int main(int argc, char** argv) {
     if (metrics_sink.active()) {
       metrics_sink.WriteSnapshot("infer_summary", obs::JsonObject());
     }
-    write_trace();
+    obs_support.Shutdown();
+    obs_support.WriteHostTrace();
     return interrupted ? kInterruptedExitCode : 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -26,6 +26,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/obs_cli.hpp"
 #include "util/signal.hpp"
 #include "util/thread_pool.hpp"
 #include "validate/invariants.hpp"
@@ -74,7 +75,16 @@ Inference:
 
 Observability (docs/observability.md):
   --metrics-out=PATH JSONL metrics; serve.request.latency, serve.batch.size,
-                     serve.queue.wait, serve.shed.count et al.
+                     serve.queue.wait, serve.shed.count et al., plus
+                     per-endpoint series like serve.request.latency{op=infer}
+  --trace-out=PATH   host spans as Chrome trace JSON; each request's
+                     parse/queue/infer/respond spans share a trace id
+                     (clients may tag requests with a "trace" field)
+  --metrics-expose=P Prometheus text-exposition file, atomically replaced
+                     every --export-interval-ms while the daemon runs
+  --export-interval-ms=N  live exporter period (default 1000)
+  --slow-request-ms=X     warn-log requests slower end-to-end than X ms
+                     (default 0 = off); counted in serve.slow_requests
   --log-level=L      debug | info | warn | error | off;  --quiet = warn
 
 Exit codes: 0 served and drained cleanly (including SIGINT/SIGTERM drain),
@@ -110,14 +120,13 @@ int RunOneshot(const serve::ReloadFn& reload, core::SnapshotPtr snapshot,
       for (const uint32_t w : req.words) {
         if (w >= snapshot->model().vocab_size) {
           in_vocab = false;
-          std::printf("%s\n",
-                      serve::FormatResponse(serve::MakeErrorResponse(
-                          req.id, "bad_request",
-                          "word id " + std::to_string(w) +
-                              " is out of vocabulary (V=" +
-                              std::to_string(snapshot->model().vocab_size) +
-                              ")"))
-                          .c_str());
+          serve::ServeResponse resp = serve::MakeErrorResponse(
+              req.id, "bad_request",
+              "word id " + std::to_string(w) +
+                  " is out of vocabulary (V=" +
+                  std::to_string(snapshot->model().vocab_size) + ")");
+          resp.trace = req.trace;
+          std::printf("%s\n", serve::FormatResponse(resp).c_str());
           break;
         }
       }
@@ -132,6 +141,7 @@ int RunOneshot(const serve::ReloadFn& reload, core::SnapshotPtr snapshot,
       for (size_t j = 0; j < live.size(); ++j) {
         serve::ServeResponse response;
         response.id = lines[live[j]].request.id;
+        response.trace = lines[live[j]].request.trace;
         response.ok = true;
         response.generation = snapshot->generation();
         response.result = results[j];
@@ -163,9 +173,17 @@ int RunOneshot(const serve::ReloadFn& reload, core::SnapshotPtr snapshot,
       return 0;
     }
     if (parsed.op == "stats") {
+      // Same payload shape as ServeDaemon::StatsPayloadJson — the oneshot
+      // path has no queue, so pending/draining are trivially 0/false.
+      obs::JsonObject payload;
+      payload.Add("schema", obs::kMetricsSchema)
+          .Add("pending", static_cast<uint64_t>(0))
+          .Add("draining", false)
+          .Add("slow_request_s", 0.0);
+      payload.AddRaw("metrics", obs::Metrics().SnapshotJson());
       std::printf("%s\n", serve::FormatControlAck(
                               parsed.id, "stats", snapshot->generation(),
-                              obs::Metrics().SnapshotJson())
+                              payload.str())
                               .c_str());
       continue;
     }
@@ -214,7 +232,8 @@ int main(int argc, char** argv) {
     const double alpha = flags.GetDouble("alpha", -1.0);
     const double beta = flags.GetDouble("beta", 0.01);
     const bool validate = flags.GetBool("validate", false);
-    const std::string metrics_path = flags.GetString("metrics-out", "");
+    const double slow_request_ms = flags.GetDouble("slow-request-ms", 0.0);
+    ObsToolSupport::RegisterFlags(flags);
     if (const int rc = flags.RejectUnknownFlags(kUsage)) return rc;
 
     CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
@@ -233,11 +252,18 @@ int main(int argc, char** argv) {
                     "--max-queue must be in [1, 2^20], got " << max_queue);
     CULDA_CHECK_MSG(!(oneshot && !socket_path.empty()),
                     "--oneshot reads stdin; it cannot combine with --socket");
+    CULDA_CHECK_MSG(slow_request_ms >= 0,
+                    "--slow-request-ms must be >= 0, got " << slow_request_ms);
 
-    obs::JsonlSink metrics_sink;
-    if (!metrics_path.empty()) {
-      metrics_sink.Open(metrics_path);
-      obs::Metrics().set_enabled(true);
+    // Sink, tracer, live exporter, flight recorder + fatal-dump handler —
+    // the whole shared observability surface (util/obs_cli.hpp).
+    ObsToolSupport obs_support(flags);
+    obs::JsonlSink& metrics_sink = obs_support.sink();
+    // The sampler mode as a labeled info gauge, so a scrape can tell which
+    // tier this daemon runs without parsing logs (dynamic label value —
+    // registered directly, not through the call-site-cached macros).
+    if (obs::MetricsEnabled()) {
+      obs::Metrics().GetGauge("serve.info", "sampler", sampler_name).Set(1.0);
     }
 
     // Flag absent → size from the effective CPU set (affinity-mask-honest,
@@ -274,7 +300,12 @@ int main(int argc, char** argv) {
                     << initial->model().vocab_size << ", generation "
                     << initial->generation() << ")";
 
-    if (oneshot) return RunOneshot(load, std::move(initial), iters);
+    if (oneshot) {
+      const int rc =
+          RunOneshot(load, std::move(initial), static_cast<uint32_t>(iters));
+      obs_support.WriteHostTrace();
+      return rc;
+    }
 
     // Daemon mode: cooperative shutdown (drain, don't drop) and no
     // SIGPIPE death when a socket client disappears mid-response.
@@ -289,6 +320,7 @@ int main(int argc, char** argv) {
     daemon_options.batch.max_queue = static_cast<size_t>(max_queue);
     daemon_options.iterations = static_cast<uint32_t>(iters);
     daemon_options.pool = engine_options.pool;
+    daemon_options.slow_request_s = slow_request_ms / 1000.0;
     serve::ServeDaemon daemon(daemon_options, std::move(initial));
 
     serve::FrontendResult front;
@@ -316,6 +348,12 @@ int main(int argc, char** argv) {
           .Add("signalled", ShutdownRequested());
       metrics_sink.WriteSnapshot("serve_summary", std::move(fields));
     }
+    // Shutdown ordering: the daemon drained above, the summary snapshot is
+    // written — stop the exporter last so its final export (and the
+    // exposed Prometheus file) reflects the fully-drained state, then dump
+    // the host trace.
+    obs_support.Shutdown();
+    obs_support.WriteHostTrace();
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -5,7 +5,11 @@
 //
 // Prints the largest topics with their top words (vocabulary strings when
 // --vocab is given, ids otherwise), and optionally UMass coherence against a
-// reference corpus. --log-level / --quiet work as in the other tools.
+// reference corpus. --log-level / --quiet work as in the other tools, and so
+// do the shared observability flags (--metrics-out / --trace-out /
+// --metrics-expose / --export-interval-ms, docs/observability.md): the tool
+// times model load and coherence scoring, and writes a topics_summary
+// snapshot on exit.
 #include <cstdio>
 #include <fstream>
 
@@ -13,7 +17,10 @@
 #include "core/topics.hpp"
 #include "corpus/uci_reader.hpp"
 #include "corpus/vocabulary.hpp"
+#include "obs/obs.hpp"
+#include "obs/sink.hpp"
 #include "util/cli.hpp"
+#include "util/obs_cli.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace culda;
@@ -37,6 +44,13 @@ reference corpus.
                        sequential; the mean is bit-identical either way)
   --pin                pin workers to their CPUs (graceful fallback)
   --log-level=L        debug | info | warn | error | off;  --quiet = warn
+
+Observability (docs/observability.md):
+  --metrics-out=P           JSONL metrics (load/coherence timings + summary)
+  --trace-out=P             host wall-clock spans as Chrome trace JSON
+  --metrics-expose=P        Prometheus text exposition, atomically
+                            rewritten by a background exporter
+  --export-interval-ms=N    exporter period (default 1000)
 
 Exit codes: 0 success, 1 input error, 2 CLI usage error, 3 internal error.
 )";
@@ -63,13 +77,19 @@ int main(int argc, char** argv) {
     const int64_t workers_flag = flags.GetInt("workers", 0);
     const bool workers_given = flags.Has("workers");
     const bool pin = flags.GetBool("pin", false);
+    ObsToolSupport::RegisterFlags(flags);
     if (const int rc = flags.RejectUnknownFlags(kUsage)) return rc;
     CULDA_CHECK_MSG(workers_flag >= 0 && workers_flag <= 1024,
                     "--workers must be in [0, 1024], got " << workers_flag);
 
     CULDA_CHECK_MSG(!model_path.empty(), "--model is required");
-    const core::GatheredModel model =
-        core::LoadModelFromFile(model_path);
+    ObsToolSupport obs_support(flags);
+    core::GatheredModel model;
+    {
+      CULDA_OBS_TIMED("topics.load");
+      obs::ScopedSpan span("topics/load");
+      model = core::LoadModelFromFile(model_path);
+    }
 
     corpus::Vocabulary vocab;
     if (!vocab_path.empty()) {
@@ -124,11 +144,26 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+    double average_coherence = 0;
     if (with_coherence) {
+      CULDA_OBS_TIMED("topics.coherence");
+      obs::ScopedSpan span("topics/coherence");
+      average_coherence = core::AverageCoherence(
+          model, cfg, reference, top_n, workers > 0 ? &pool : nullptr);
       std::printf("\naverage UMass coherence (top %zu words): %.3f\n", top_n,
-                  core::AverageCoherence(model, cfg, reference, top_n,
-                                         workers > 0 ? &pool : nullptr));
+                  average_coherence);
     }
+    if (obs_support.sink().active()) {
+      obs::JsonObject fields;
+      fields.Add("topics_shown",
+                 static_cast<uint64_t>(std::min(show, sizes.size())))
+          .Add("num_topics", static_cast<uint64_t>(model.num_topics))
+          .Add("vocab_size", static_cast<uint64_t>(model.vocab_size));
+      if (with_coherence) fields.Add("average_coherence", average_coherence);
+      obs_support.sink().WriteSnapshot("topics_summary", std::move(fields));
+    }
+    obs_support.Shutdown();
+    obs_support.WriteHostTrace();
     return 0;
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -22,6 +22,7 @@
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
+#include "util/obs_cli.hpp"
 #include "util/signal.hpp"
 
 using namespace culda;
@@ -73,6 +74,9 @@ Observability (docs/observability.md):
   --log-level=L       debug | info | warn | error | off;  --quiet = warn
   --metrics-out=PATH  JSONL metrics per iteration + summary
   --trace-out=PATH    merged Chrome trace JSON (open in Perfetto)
+  --metrics-expose=PATH     Prometheus text exposition, atomically
+                            rewritten by a background exporter
+  --export-interval-ms=N    exporter period (default 1000)
   --profile-json=PATH per-kernel aggregate profile as JSON
 
 Exit codes: 0 success, 1 input error, 2 CLI usage error, 3 internal error,
@@ -158,20 +162,16 @@ int main(int argc, char** argv) {
     const int ckpt_every = static_cast<int>(flags.GetInt(
         "checkpoint-every", 10));
     const std::string resume = flags.GetString("resume", "");
-    const std::string metrics_path = flags.GetString("metrics-out", "");
-    const std::string trace_path = flags.GetString("trace-out", "");
     const std::string profile_path = flags.GetString("profile-json", "");
+    ObsToolSupport::RegisterFlags(flags);
 
     if (const int rc = flags.RejectUnknownFlags(kUsage)) return rc;
 
     // Observation-only: enabling these changes no numeric result
     // (Obs.BitIdentity* pins that), so flipping them on is always safe.
-    obs::JsonlSink metrics_sink;
-    if (!metrics_path.empty()) {
-      metrics_sink.Open(metrics_path);
-      obs::Metrics().set_enabled(true);
-    }
-    if (!trace_path.empty()) obs::SpanTracer::Global().set_enabled(true);
+    ObsToolSupport obs_support(flags);
+    obs::JsonlSink& metrics_sink = obs_support.sink();
+    const std::string& trace_path = obs_support.trace_path();
 
     core::CuldaTrainer trainer(corpus, cfg, opts);
     if (!trace_path.empty()) {
@@ -282,9 +282,15 @@ int main(int argc, char** argv) {
           .Add("workers", static_cast<uint64_t>(workers))
           .Add("tokens", trainer.num_tokens());
       metrics_sink.WriteSnapshot("train_summary", std::move(fields));
-      std::printf("metrics written to %s\n", metrics_path.c_str());
+      std::printf("metrics written to %s\n",
+                  flags.GetString("metrics-out", "").c_str());
     }
+    // The exporter stops after the summary snapshot so the exposed file
+    // reflects the finished run.
+    obs_support.Shutdown();
     if (!trace_path.empty()) {
+      // Training merges the simulated device timeline with the host spans,
+      // so it writes the trace itself instead of WriteHostTrace().
       std::ofstream trace_out(trace_path, std::ios::trunc);
       CULDA_CHECK_MSG(trace_out.good(),
                       "cannot open '" << trace_path << "' for writing");

@@ -37,13 +37,19 @@ echo "== training tiny model"
   || fail "training exited $?"
 
 echo "== generating request stream (40 requests + mid-stream reload)"
+# r05 carries a client trace id; both paths must echo it byte-identically.
 i=0
 while [ $i -lt 40 ]; do
   if [ $i -eq 20 ]; then
     printf '{"op":"reload","id":"swap"}\n'
   fi
-  printf '{"id":"r%02d","words":[%d,%d,%d],"seed":%d}\n' \
-    "$i" "$((i % 90))" "$(((i * 7 + 3) % 90))" "$((i % 13))" "$((i + 1))"
+  if [ $i -eq 5 ]; then
+    printf '{"id":"r%02d","words":[%d,%d,%d],"seed":%d,"trace":"t05"}\n' \
+      "$i" "$((i % 90))" "$(((i * 7 + 3) % 90))" "$((i % 13))" "$((i + 1))"
+  else
+    printf '{"id":"r%02d","words":[%d,%d,%d],"seed":%d}\n' \
+      "$i" "$((i % 90))" "$(((i * 7 + 3) % 90))" "$((i % 13))" "$((i + 1))"
+  fi
   i=$((i + 1))
 done > "$work/requests.jsonl"
 
@@ -61,12 +67,18 @@ echo "== reference run (--oneshot, direct InferBatch)"
   --quiet $extra < "$work/requests.jsonl" > "$work/oneshot.out" \
   || fail "oneshot run exited $?"
 
-echo "== daemon run (coalescing + hot swap)"
+echo "== daemon run (coalescing + hot swap + live exposition)"
 # --metrics-out enables the registry, so the {"op":"stats"} payload carries
-# the serve.* counters the coalescing check below reads.
-{ cat "$work/requests.jsonl"; printf '{"op":"stats","id":"st"}\n'; } |
+# the serve.* counters the coalescing check below reads; --metrics-expose
+# has the background exporter publish a Prometheus file alongside. The
+# sleep lets the queued infer batches complete before the stats op is
+# admitted, so the live payload deterministically carries the populated
+# per-endpoint latency series (the exit-time serve_summary re-checks it
+# race-free regardless).
+{ cat "$work/requests.jsonl"; sleep 1; printf '{"op":"stats","id":"st"}\n'; } |
   "$bindir/culda_serve" --model="$work/model.bin" --iters=10 \
     --max-batch=8 --max-wait-ms=50 --metrics-out="$work/metrics.jsonl" \
+    --metrics-expose="$work/expose.prom" --export-interval-ms=100 \
     --quiet $extra > "$work/daemon.out" \
   || fail "daemon run exited $?"
 
@@ -79,9 +91,31 @@ diff -u "$work/oneshot.sorted" "$work/daemon.sorted" \
 grep -q '"id":"swap","ok":true,"op":"reload","generation":2' \
   "$work/daemon.out" || fail "hot swap to generation 2 never acknowledged"
 
+# The traced request's client trace id is echoed on its response line, on
+# both paths, identically (it is inside the normalized diff above too).
+grep -q '"id":"r05","trace":"t05","ok":true' "$work/daemon.out" \
+  || fail "daemon did not echo the client trace id"
+grep -q '"id":"r05","trace":"t05","ok":true' "$work/oneshot.out" \
+  || fail "oneshot did not echo the client trace id"
+
 # The {"op":"stats"} ack must carry a live registry payload...
 grep -q '"id":"st","ok":true,"op":"stats".*"payload":{.*"serve\.requests"' \
   "$work/daemon.out" || fail "stats ack lacks a metrics payload"
+# ...including the per-endpoint latency histogram with its percentiles.
+grep -q '"serve\.request\.latency{op=infer}":{"type":"histogram".*"p99"' \
+  "$work/daemon.out" || fail "stats payload lacks per-endpoint histogram"
+
+# The exposed Prometheus file must be a complete, well-formed exposition:
+# the exporter's final post-drain export leaves # TYPE lines, cumulative
+# histogram buckets, and the # EOF completeness marker.
+[ -f "$work/expose.prom" ] || fail "exposition file was never written"
+grep -q '^# TYPE culda_serve_requests counter$' "$work/expose.prom" \
+  || fail "exposition lacks a # TYPE line for serve.requests"
+grep -q '^culda_serve_request_latency_bucket{op="infer",le="+Inf"} ' \
+  "$work/expose.prom" || fail "exposition lacks labeled histogram buckets"
+tail -n 1 "$work/expose.prom" | grep -q '^# EOF$' \
+  || fail "exposition file is missing the trailing # EOF marker"
+[ -f "$work/expose.prom.tmp" ] && fail "torn exposition temp file left behind"
 
 # ...but the coalescing proof reads the exit-time summary (written after
 # the drain, so every batch is counted — the mid-stream stats ack races
@@ -95,6 +129,12 @@ requests=$(printf '%s' "$summary" |
   sed -n 's/.*"serve\.requests":{"type":"counter","value":\([0-9]*\).*/\1/p')
 [ -n "$batches" ] && [ -n "$requests" ] \
   || fail "stats payload lacks serve.batches/serve.requests: $stats"
+# The summary is written after the drain, so the per-endpoint latency
+# histogram must be fully populated here no matter how the mid-stream
+# stats op raced the dispatcher.
+printf '%s' "$summary" |
+  grep -q '"serve\.request\.latency{op=infer}":{"type":"histogram".*"p99"' \
+  || fail "serve_summary lacks per-endpoint histogram"
 [ "$requests" -eq 40 ] || fail "daemon admitted $requests requests, want 40"
 [ "$batches" -lt "$requests" ] \
   || fail "no coalescing: $batches batches for $requests requests"
@@ -126,4 +166,5 @@ answered=$(grep -c '"ok":true' "$work/drain.out") || true
 [ "$answered" -eq 5 ] \
   || fail "SIGTERM drain answered $answered of 5 queued requests"
 
-echo "SMOKE OK: bit-identity, hot swap, coalescing, graceful drain"
+echo "SMOKE OK: bit-identity, trace echo, hot swap, coalescing," \
+  "live exposition, graceful drain"
