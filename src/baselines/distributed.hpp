@@ -32,13 +32,28 @@ struct DistributedLdaModel {
   double IterationSeconds(uint64_t tokens) const {
     CULDA_CHECK(num_nodes >= 1);
     CULDA_CHECK(node_tokens_per_sec > 0);
+    // model_bytes defaults to 0; a caller that forgets to set it would get
+    // a silently-free network (sync_s == 0) and this baseline would "win"
+    // every comparison it appears in — fail loudly instead.
+    CULDA_CHECK_MSG(model_bytes > 0,
+                    "DistributedLdaModel.model_bytes is unset (0); set it to "
+                    "the exchanged model size before calling "
+                    "IterationSeconds, or the network term is silently free");
     const double sampling_s =
         static_cast<double>(tokens) /
         (node_tokens_per_sec * static_cast<double>(num_nodes));
     // The parameter server's NIC is the bottleneck link: all workers' push
-    // and pull traffic serializes through it.
-    const double sync_s = network.TransferSeconds(
-        2ull * model_bytes * static_cast<uint64_t>(num_nodes));
+    // and pull traffic serializes through it. Guard the 2·model·N volume
+    // against uint64 wrap before multiplying (the ByteReader convention:
+    // validate against the ceiling, never detect after the fact).
+    const uint64_t nodes_u = static_cast<uint64_t>(num_nodes);
+    CULDA_CHECK_MSG(
+        model_bytes <= UINT64_MAX / 2 / nodes_u,
+        "DistributedLdaModel sync volume overflows uint64: 2 * model_bytes ("
+            << model_bytes << ") * num_nodes (" << num_nodes
+            << ") exceeds UINT64_MAX");
+    const double sync_s =
+        network.TransferSeconds(2ull * model_bytes * nodes_u);
     return sampling_s + sync_s;
   }
 };

@@ -620,6 +620,44 @@ gpusim::KernelRecord RunUpdatePhiKernel(gpusim::Device& device,
   return device.Launch("update_phi", lc, body, stream);
 }
 
+namespace {
+
+/// Exact host-side θ rebuild from chunk.z (document order — the real
+/// kernel's two-pass count/scan/fill produces exactly this matrix). Walks a
+/// touched-topic list instead of scanning all K counters per document, so
+/// its cost is O(tokens + Σ_d k_d log k_d), not O(docs · K). Shared by the
+/// full and delta θ kernels, which differ only in billed traffic.
+void RebuildThetaFromZ(ChunkState& chunk, uint32_t K) {
+  const uint64_t num_docs = chunk.num_docs();
+  ThetaMatrix fresh(num_docs, K);
+  ThetaMatrix::RowBuilder builder(&fresh);
+  UpdateThetaScratch& scratch = tl_theta_scratch;
+  if (scratch.dense.size() < K) scratch.dense.assign(K, 0);
+  for (uint64_t d = 0; d < num_docs; ++d) {
+    scratch.touched.clear();
+    scratch.idx.clear();
+    scratch.val.clear();
+    for (uint64_t i = chunk.layout.doc_map_offsets[d];
+         i < chunk.layout.doc_map_offsets[d + 1]; ++i) {
+      const uint16_t k = chunk.z[chunk.layout.doc_map[i]];
+      if (scratch.dense[k]++ == 0) scratch.touched.push_back(k);
+    }
+    // CSR rows store topics in ascending order; the touched list arrives
+    // in first-seen order, so sort it (k_d is small — θ is sparse).
+    std::sort(scratch.touched.begin(), scratch.touched.end());
+    for (const uint16_t k : scratch.touched) {
+      scratch.idx.push_back(k);
+      scratch.val.push_back(scratch.dense[k]);
+      scratch.dense[k] = 0;
+    }
+    builder.AppendRow(d, scratch.idx, scratch.val);
+  }
+  builder.Finish();
+  chunk.theta = std::move(fresh);
+}
+
+}  // namespace
+
 gpusim::KernelRecord RunUpdateThetaKernel(gpusim::Device& device,
                                           const CuldaConfig& cfg,
                                           ChunkState& chunk,
@@ -632,40 +670,11 @@ gpusim::KernelRecord RunUpdateThetaKernel(gpusim::Device& device,
     return rec;
   }
 
-  // Functional rebuild first (exact, document order — the real kernel's
-  // two-pass count/scan/fill produces exactly this matrix); the launch below
-  // then bills the traffic the dense-scatter + compaction kernel would move,
-  // using the rebuilt matrix's true nnz. The host rebuild walks a touched-
-  // topic list instead of scanning all K counters per document, so its cost
-  // is O(tokens + Σ_d k_d log k_d), not O(docs · K); the *billed* traffic
-  // below still models the dense zero-and-scan the real kernel performs.
-  {
-    ThetaMatrix fresh(num_docs, K);
-    ThetaMatrix::RowBuilder builder(&fresh);
-    UpdateThetaScratch& scratch = tl_theta_scratch;
-    if (scratch.dense.size() < K) scratch.dense.assign(K, 0);
-    for (uint64_t d = 0; d < num_docs; ++d) {
-      scratch.touched.clear();
-      scratch.idx.clear();
-      scratch.val.clear();
-      for (uint64_t i = chunk.layout.doc_map_offsets[d];
-           i < chunk.layout.doc_map_offsets[d + 1]; ++i) {
-        const uint16_t k = chunk.z[chunk.layout.doc_map[i]];
-        if (scratch.dense[k]++ == 0) scratch.touched.push_back(k);
-      }
-      // CSR rows store topics in ascending order; the touched list arrives
-      // in first-seen order, so sort it (k_d is small — θ is sparse).
-      std::sort(scratch.touched.begin(), scratch.touched.end());
-      for (const uint16_t k : scratch.touched) {
-        scratch.idx.push_back(k);
-        scratch.val.push_back(scratch.dense[k]);
-        scratch.dense[k] = 0;
-      }
-      builder.AppendRow(d, scratch.idx, scratch.val);
-    }
-    builder.Finish();
-    chunk.theta = std::move(fresh);
-  }
+  // Functional rebuild first; the launch below then bills the traffic the
+  // dense-scatter + compaction kernel would move, using the rebuilt matrix's
+  // true nnz (the *billed* traffic models the dense zero-and-scan the real
+  // kernel performs, even though the host rebuild is sparse).
+  RebuildThetaFromZ(chunk, K);
 
   const uint32_t grid =
       static_cast<uint32_t>(std::min<uint64_t>(num_docs, 4096));
@@ -696,6 +705,41 @@ gpusim::KernelRecord RunUpdateThetaKernel(gpusim::Device& device,
     ctx.WriteGlobal(nnz_here * (cfg.theta_index_bytes() + 4));
   };
   return device.Launch("update_theta", lc, body, stream);
+}
+
+gpusim::KernelRecord RunUpdateThetaDeltaKernel(
+    gpusim::Device& device, const CuldaConfig& cfg, ChunkState& chunk,
+    uint64_t touched_tokens, gpusim::Stream* stream) {
+  const uint32_t K = cfg.num_topics;
+  if (chunk.num_docs() == 0 || touched_tokens == 0) {
+    // Nothing resampled ⇒ z unchanged ⇒ θ is already consistent.
+    gpusim::KernelRecord rec;
+    rec.name = "update_theta_delta";
+    return rec;
+  }
+  CULDA_CHECK(touched_tokens <= chunk.num_tokens());
+
+  // Same exact result as the full kernel — θ is a pure function of z — but
+  // billed as the incremental kernel: each touched token reads its old and
+  // new assignment and applies a −1/+1 atomic pair to its document's θ row,
+  // no dense zero-and-scan of untouched documents.
+  RebuildThetaFromZ(chunk, K);
+
+  const uint32_t grid = static_cast<uint32_t>(
+      std::min<uint64_t>(std::max<uint64_t>(1, touched_tokens / 1024), 4096));
+  const gpusim::LaunchConfig lc{grid, 1024, kUpdateMemDerate};
+  auto body = [&](gpusim::BlockContext& ctx) {
+    const uint64_t tokens_here =
+        touched_tokens / ctx.grid_dim() +
+        (ctx.block_id() < touched_tokens % ctx.grid_dim());
+    // Per token: doc_map entry + old z + new z in, two atomic row updates
+    // (decrement old topic, increment new topic) with their results out.
+    ctx.ReadGlobal(tokens_here * (4 + 2 + 2));
+    ctx.counters().atomic_ops += 2 * tokens_here;
+    ctx.WriteGlobal(2 * tokens_here * 4);
+    ctx.IntOps(tokens_here);
+  };
+  return device.Launch("update_theta_delta", lc, body, stream);
 }
 
 gpusim::KernelRecord RunComputeNkKernel(gpusim::Device& device,

@@ -90,6 +90,18 @@ gpusim::KernelRecord RunUpdateThetaKernel(gpusim::Device& device,
                                           ChunkState& chunk,
                                           gpusim::Stream* stream = nullptr);
 
+/// Delta variant for shard-restricted rounds (src/dist): when only
+/// `touched_tokens` of the chunk's tokens were resampled (a φ word-shard's
+/// slice), the real kernel applies per-token −old/+new adjustments to the
+/// affected θ rows instead of the full dense scatter. The functional result
+/// is identical to RunUpdateThetaKernel (θ is rebuilt exactly from z); only
+/// the billed traffic scales with `touched_tokens`, so a sweep split into N
+/// shard rounds is not billed N full θ rebuilds. `touched_tokens` == 0 is a
+/// no-op (z unchanged ⇒ θ already consistent).
+gpusim::KernelRecord RunUpdateThetaDeltaKernel(
+    gpusim::Device& device, const CuldaConfig& cfg, ChunkState& chunk,
+    uint64_t touched_tokens, gpusim::Stream* stream = nullptr);
+
 /// Recomputes replica.nk from replica.phi.
 gpusim::KernelRecord RunComputeNkKernel(gpusim::Device& device,
                                         const CuldaConfig& cfg,

@@ -111,47 +111,32 @@ SyncStats SynchronizePhi(gpusim::DeviceGroup& group, const CuldaConfig& cfg,
   return stats;
 }
 
-MultiNodeSyncStats SynchronizePhiAcrossNodes(
-    std::vector<gpusim::DeviceGroup*> node_groups, const CuldaConfig& cfg,
-    std::vector<std::vector<PhiReplica>*> node_replicas,
-    const gpusim::LinkSpec& network) {
-  const size_t nodes = node_groups.size();
-  CULDA_CHECK(nodes >= 1);
-  CULDA_CHECK(node_replicas.size() == nodes);
+namespace {
 
-  MultiNodeSyncStats stats;
-  const uint64_t cells =
-      static_cast<uint64_t>((*node_replicas[0])[0].num_topics) *
-      (*node_replicas[0])[0].vocab_size;
-  const uint64_t bytes = cells * cfg.phi_count_bytes();
-
-  // 1. Intra-node reduce (leaves every local replica holding the node sum;
-  //    only the reduce half matters before the network phase, but reusing
-  //    SynchronizePhi keeps one code path — the extra broadcast is counted
-  //    in phase 3's favour since phase 3 then only re-broadcasts deltas).
+/// Shared head of both multi-node overloads: intra-node reduce on every
+/// group (leaves every local replica holding the node sum; reusing
+/// SynchronizePhi keeps one code path — the extra broadcast is counted in
+/// the tail's favour since the tail then only re-broadcasts deltas).
+/// Returns {intra_start, intra_end} on the shared timeline.
+std::pair<double, double> IntraNodeReduce(
+    std::vector<gpusim::DeviceGroup*>& node_groups, const CuldaConfig& cfg,
+    std::vector<std::vector<PhiReplica>*>& node_replicas) {
   double intra_start = 0, intra_end = 0;
-  for (size_t n = 0; n < nodes; ++n) {
+  for (size_t n = 0; n < node_groups.size(); ++n) {
     intra_start = std::max(intra_start, node_groups[n]->Now());
     SynchronizePhi(*node_groups[n], cfg, *node_replicas[n],
                    SyncMode::kGpuTree);
     intra_end = std::max(intra_end, node_groups[n]->Now());
   }
-  stats.intra_node_s = intra_end - intra_start;
-  if (nodes == 1) {
-    stats.seconds = stats.intra_node_s;
-    return stats;
-  }
+  return {intra_start, intra_end};
+}
 
-  // 2. Inter-node ring all-reduce of the node sums: each node sends and
-  //    receives 2·(N−1)/N of the model. Every node's NIC is busy the whole
-  //    time, so the wall cost is that volume over one link.
-  const uint64_t ring_bytes = 2 * bytes * (nodes - 1) / nodes;
-  stats.network_bytes = ring_bytes * nodes;
-  stats.inter_node_s = network.TransferSeconds(ring_bytes);
-
-  // Functional: sum node 0's replica 0 across nodes, then copy everywhere.
+/// Functional inter-node sum: adds every node's replica 0 into node 0's.
+/// Returns a reference to the summed global matrix.
+PhiMatrix& SumNodeReplicas(
+    std::vector<std::vector<PhiReplica>*>& node_replicas) {
   PhiMatrix& global = (*node_replicas[0])[0].phi;
-  for (size_t n = 1; n < nodes; ++n) {
+  for (size_t n = 1; n < node_replicas.size(); ++n) {
     const auto src = (*node_replicas[n])[0].phi.flat();
     auto dst = global.flat();
     for (size_t i = 0; i < dst.size(); ++i) {
@@ -160,10 +145,16 @@ MultiNodeSyncStats SynchronizePhiAcrossNodes(
       dst[i] = static_cast<uint16_t>(sum);
     }
   }
+  return global;
+}
 
-  // 3. Intra-node broadcast of the global model + clock alignment.
-  double end = intra_end + stats.inter_node_s;
-  for (size_t n = 0; n < nodes; ++n) {
+/// Shared tail: install `global` on every replica, align every device to
+/// `end`, bill one intra-node broadcast round, and return the final time.
+double BroadcastWithinNodes(std::vector<gpusim::DeviceGroup*>& node_groups,
+                            std::vector<std::vector<PhiReplica>*>&
+                                node_replicas,
+                            PhiMatrix& global, uint64_t bytes, double end) {
+  for (size_t n = 0; n < node_groups.size(); ++n) {
     for (auto& replica : *node_replicas[n]) {
       if (&replica.phi != &global) replica.phi = global;
     }
@@ -177,6 +168,100 @@ MultiNodeSyncStats SynchronizePhiAcrossNodes(
     node_groups[n]->Barrier();
     end = std::max(end, node_groups[n]->Now());
   }
+  return end;
+}
+
+uint64_t GlobalPhiBytes(const CuldaConfig& cfg,
+                        std::vector<std::vector<PhiReplica>*>&
+                            node_replicas) {
+  return static_cast<uint64_t>((*node_replicas[0])[0].num_topics) *
+         (*node_replicas[0])[0].vocab_size * cfg.phi_count_bytes();
+}
+
+}  // namespace
+
+MultiNodeSyncStats SynchronizePhiAcrossNodes(
+    std::vector<gpusim::DeviceGroup*> node_groups, const CuldaConfig& cfg,
+    std::vector<std::vector<PhiReplica>*> node_replicas,
+    const gpusim::LinkSpec& network) {
+  const size_t nodes = node_groups.size();
+  CULDA_CHECK(nodes >= 1);
+  CULDA_CHECK(node_replicas.size() == nodes);
+
+  MultiNodeSyncStats stats;
+  const uint64_t bytes = GlobalPhiBytes(cfg, node_replicas);
+  const auto [intra_start, intra_end] =
+      IntraNodeReduce(node_groups, cfg, node_replicas);
+  stats.intra_node_s = intra_end - intra_start;
+  if (nodes == 1) {
+    stats.seconds = stats.intra_node_s;
+    return stats;
+  }
+
+  // Inter-node ring all-reduce of the node sums: each node sends and
+  // receives 2·(N−1)/N of the model. Every node's NIC is busy the whole
+  // time, so the wall cost is that volume over one link.
+  const uint64_t ring_bytes = 2 * bytes * (nodes - 1) / nodes;
+  stats.network_bytes = ring_bytes * nodes;
+  stats.inter_node_s = network.TransferSeconds(ring_bytes);
+
+  PhiMatrix& global = SumNodeReplicas(node_replicas);
+  const double end =
+      BroadcastWithinNodes(node_groups, node_replicas, global, bytes,
+                           intra_end + stats.inter_node_s);
+  stats.seconds = end - intra_start;
+  return stats;
+}
+
+MultiNodeSyncStats SynchronizePhiAcrossNodes(
+    std::vector<gpusim::DeviceGroup*> node_groups, const CuldaConfig& cfg,
+    std::vector<std::vector<PhiReplica>*> node_replicas,
+    gpusim::Fabric& fabric) {
+  const size_t nodes = node_groups.size();
+  CULDA_CHECK(nodes >= 1);
+  CULDA_CHECK(node_replicas.size() == nodes);
+  CULDA_CHECK_MSG(fabric.size() == nodes,
+                  "fabric has " << fabric.size() << " endpoints but "
+                                << nodes << " node groups were passed");
+
+  MultiNodeSyncStats stats;
+  const uint64_t bytes = GlobalPhiBytes(cfg, node_replicas);
+  const auto [intra_start, intra_end] =
+      IntraNodeReduce(node_groups, cfg, node_replicas);
+  stats.intra_node_s = intra_end - intra_start;
+  if (nodes == 1) {
+    stats.seconds = stats.intra_node_s;
+    return stats;
+  }
+
+  // Explicit ring all-reduce billed through the fabric: 2·(N−1) steps —
+  // (N−1) reduce-scatter then (N−1) all-gather — each node forwarding a
+  // ⌈model/N⌉ segment to its ring successor. On a ring fabric every step is
+  // a single physical hop; on a fully-connected one it's a direct link.
+  // Sends are issued in node-index order so link-contention resolution is
+  // deterministic, and each step starts only when its payload has arrived
+  // (clock[n] carries the per-node data dependency across steps).
+  const uint64_t payload_before = fabric.payload_bytes();
+  const uint64_t segment = (bytes + nodes - 1) / nodes;
+  std::vector<double> clock(nodes, 0.0);
+  for (size_t n = 0; n < nodes; ++n) clock[n] = node_groups[n]->Now();
+  for (size_t step = 0; step < 2 * (nodes - 1); ++step) {
+    std::vector<double> arrival(nodes, 0.0);
+    for (size_t n = 0; n < nodes; ++n) {
+      const size_t dst = (n + 1) % nodes;
+      arrival[dst] = fabric.Transfer(n, dst, segment, clock[n]);
+    }
+    for (size_t n = 0; n < nodes; ++n) {
+      clock[n] = std::max(clock[n], arrival[n]);
+    }
+  }
+  double end = 0;
+  for (size_t n = 0; n < nodes; ++n) end = std::max(end, clock[n]);
+  stats.network_bytes = fabric.payload_bytes() - payload_before;
+  stats.inter_node_s = end - intra_end;
+
+  PhiMatrix& global = SumNodeReplicas(node_replicas);
+  end = BroadcastWithinNodes(node_groups, node_replicas, global, bytes, end);
   stats.seconds = end - intra_start;
   return stats;
 }

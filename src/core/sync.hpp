@@ -11,6 +11,7 @@
 
 #include "core/config.hpp"
 #include "core/model.hpp"
+#include "gpusim/fabric.hpp"
 #include "gpusim/multi_gpu.hpp"
 
 namespace culda::core {
@@ -57,5 +58,17 @@ MultiNodeSyncStats SynchronizePhiAcrossNodes(
     std::vector<gpusim::DeviceGroup*> node_groups, const CuldaConfig& cfg,
     std::vector<std::vector<PhiReplica>*> node_replicas,
     const gpusim::LinkSpec& network);
+
+/// Fabric-routed variant: the inter-node exchange runs as an explicit ring
+/// all-reduce — 2·(N−1) steps, each node forwarding a 1/N model segment to
+/// its successor — billed segment by segment through `fabric`, so per-link
+/// LinkSpec overrides, ring store-and-forward routing, and link contention
+/// all land in the returned time. Node clocks are read and advanced in
+/// cluster-absolute time (callers keep all groups on one shared timeline).
+/// `fabric.size()` must equal `node_groups.size()`.
+MultiNodeSyncStats SynchronizePhiAcrossNodes(
+    std::vector<gpusim::DeviceGroup*> node_groups, const CuldaConfig& cfg,
+    std::vector<std::vector<PhiReplica>*> node_replicas,
+    gpusim::Fabric& fabric);
 
 }  // namespace culda::core

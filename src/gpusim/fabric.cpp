@@ -1,0 +1,170 @@
+#include "gpusim/fabric.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace culda::gpusim {
+
+const char* FabricTopologyName(FabricTopology topology) {
+  switch (topology) {
+    case FabricTopology::kRing:
+      return "ring";
+    case FabricTopology::kFullyConnected:
+      return "full";
+  }
+  return "?";
+}
+
+FabricTopology ParseFabricTopology(std::string_view name) {
+  if (name == "ring") return FabricTopology::kRing;
+  if (name == "full" || name == "fully-connected") {
+    return FabricTopology::kFullyConnected;
+  }
+  throw Error(
+      "--fabric must be one of: ring (store-and-forward n±1 links), full "
+      "(direct link per node pair; also spelled 'fully-connected'); got '" +
+      std::string(name) + "'");
+}
+
+namespace {
+
+[[noreturn]] void BadLinkSpec(std::string_view spec) {
+  throw Error(
+      "--link must be one of: eth10g (1.25 GB/s, 50 us), eth100g (12.5 "
+      "GB/s, 20 us), pcie (PCIe 3.0 x16), nvlink (NVLink 2.0), or a custom "
+      "GBPS@LATENCY_US pair such as 2.5@40; got '" +
+      std::string(spec) + "'");
+}
+
+/// Strict double parse for the custom GBPS@LATENCY_US form: the whole field
+/// must be consumed (no trailing garbage) and the value must be finite.
+bool ParseStrictDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+LinkSpec ParseLinkSpec(std::string_view spec) {
+  if (spec == "eth10g") return Ethernet10G();
+  if (spec == "eth100g") return {"100Gb Ethernet", 12.5, 20.0};
+  if (spec == "pcie") return Pcie3x16();
+  if (spec == "nvlink") return NvLink2();
+  const size_t at = spec.find('@');
+  if (at == std::string_view::npos) BadLinkSpec(spec);
+  double gbps = 0, latency_us = 0;
+  if (!ParseStrictDouble(std::string(spec.substr(0, at)), &gbps) ||
+      !ParseStrictDouble(std::string(spec.substr(at + 1)), &latency_us) ||
+      gbps <= 0 || latency_us < 0) {
+    BadLinkSpec(spec);
+  }
+  return {"custom " + std::string(spec), gbps, latency_us};
+}
+
+Fabric::Fabric(size_t num_nodes, FabricTopology topology,
+               LinkSpec default_link)
+    : num_nodes_(num_nodes), topology_(topology) {
+  CULDA_CHECK_MSG(num_nodes >= 1, "a fabric needs at least one node");
+  CULDA_CHECK_MSG(default_link.bandwidth_gbps > 0,
+                  "fabric link bandwidth must be positive");
+  links_.assign(num_nodes * num_nodes, default_link);
+  busy_.assign(num_nodes * num_nodes, 0.0);
+}
+
+size_t Fabric::EdgeIndex(size_t src, size_t dst) const {
+  CULDA_CHECK_MSG(src < num_nodes_ && dst < num_nodes_ && src != dst,
+                  "fabric link " << src << " -> " << dst
+                                 << " out of range for " << num_nodes_
+                                 << " nodes");
+  if (topology_ == FabricTopology::kRing) {
+    const size_t forward = (src + 1) % num_nodes_;
+    const size_t backward = (src + num_nodes_ - 1) % num_nodes_;
+    CULDA_CHECK_MSG(dst == forward || dst == backward,
+                    "ring fabric has no physical link "
+                        << src << " -> " << dst
+                        << " (only n±1 neighbours are wired)");
+  }
+  return src * num_nodes_ + dst;
+}
+
+void Fabric::SetLink(size_t src, size_t dst, LinkSpec link) {
+  CULDA_CHECK_MSG(link.bandwidth_gbps > 0,
+                  "fabric link bandwidth must be positive");
+  links_[EdgeIndex(src, dst)] = std::move(link);
+}
+
+const LinkSpec& Fabric::Link(size_t src, size_t dst) const {
+  return links_[EdgeIndex(src, dst)];
+}
+
+size_t Fabric::RouteHops(size_t src, size_t dst) const {
+  CULDA_CHECK_MSG(src < num_nodes_ && dst < num_nodes_,
+                  "fabric node out of range");
+  if (src == dst) return 0;
+  if (topology_ == FabricTopology::kFullyConnected) return 1;
+  const size_t forward = (dst + num_nodes_ - src) % num_nodes_;
+  const size_t backward = num_nodes_ - forward;
+  return std::min(forward, backward);
+}
+
+double Fabric::Transfer(size_t src, size_t dst, uint64_t bytes,
+                        double ready) {
+  CULDA_CHECK_MSG(src < num_nodes_ && dst < num_nodes_,
+                  "fabric node out of range");
+  if (src == dst) return ready;
+  payload_bytes_ += bytes;
+  ++transfer_count_;
+
+  // Pick the hop sequence: direct when fully connected; on a ring the
+  // shorter direction, clockwise (+1) on a tie — a fixed rule so routing
+  // never depends on anything but (src, dst, N).
+  size_t step = 1;  // +1 direction
+  if (topology_ == FabricTopology::kRing) {
+    const size_t forward = (dst + num_nodes_ - src) % num_nodes_;
+    const size_t backward = num_nodes_ - forward;
+    if (backward < forward) step = num_nodes_ - 1;  // -1 direction
+  }
+
+  double at = ready;
+  size_t here = src;
+  while (here != dst) {
+    const size_t next = topology_ == FabricTopology::kFullyConnected
+                            ? dst
+                            : (here + step) % num_nodes_;
+    const size_t e = EdgeIndex(here, next);
+    // Store-and-forward: the hop starts once the payload is here AND the
+    // link is free; it occupies the link until it fully arrives.
+    const double start = std::max(at, busy_[e]);
+    at = start + links_[e].TransferSeconds(bytes);
+    busy_[e] = at;
+    wire_bytes_ += bytes;
+    here = next;
+  }
+  return at;
+}
+
+double Fabric::busy_until(size_t src, size_t dst) const {
+  return busy_[EdgeIndex(src, dst)];
+}
+
+void Fabric::Reset() {
+  std::fill(busy_.begin(), busy_.end(), 0.0);
+  payload_bytes_ = 0;
+  wire_bytes_ = 0;
+  transfer_count_ = 0;
+}
+
+}  // namespace culda::gpusim

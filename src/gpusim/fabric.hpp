@@ -1,0 +1,97 @@
+// Simulated multi-node interconnect fabric.
+//
+// DeviceGroup models the links *inside* one machine (PCIe/NVLink peer
+// transfers). Fabric models the network *between* machines: a set of
+// directed links, each with its own LinkSpec bandwidth/latency and its own
+// busy clock, under one of two physical topologies:
+//
+//   kRing            — node n is wired only to n±1 (mod N); a transfer to a
+//                      non-neighbour is store-and-forwarded hop by hop along
+//                      the shorter direction (ties go clockwise).
+//   kFullyConnected  — every ordered pair has a direct link.
+//
+// A transfer occupies each link it crosses exclusively: it starts on a link
+// no earlier than both the payload's arrival at the link's tail and the
+// link's previous transfer finishing, so concurrent traffic through a shared
+// link serializes. All state is plain (no internal threading); callers issue
+// transfers in a deterministic order and get deterministic clocks — the same
+// single-owner discipline as Device.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "gpusim/device_spec.hpp"
+
+namespace culda::gpusim {
+
+enum class FabricTopology {
+  kRing,
+  kFullyConnected,
+};
+
+const char* FabricTopologyName(FabricTopology topology);
+
+/// Parses "ring" or "full" (also accepted: "fully-connected"). Throws
+/// culda::Error echoing the bad value and every accepted spelling.
+FabricTopology ParseFabricTopology(std::string_view name);
+
+/// Parses a link specification for --link style flags: a preset name
+/// ("eth10g", "eth100g", "pcie", "nvlink") or a custom "GBPS@LATENCY_US"
+/// pair (e.g. "12.5@20" = 12.5 GB/s, 20 µs). Strict: trailing garbage,
+/// non-positive bandwidth, and negative latency are rejected with an error
+/// echoing the bad value and every accepted spelling.
+LinkSpec ParseLinkSpec(std::string_view spec);
+
+class Fabric {
+ public:
+  /// Creates the fabric: `num_nodes` endpoints, every physical link
+  /// initialised to `default_link`.
+  Fabric(size_t num_nodes, FabricTopology topology, LinkSpec default_link);
+
+  size_t size() const { return num_nodes_; }
+  FabricTopology topology() const { return topology_; }
+
+  /// Overrides one directed physical link (src → dst must exist in the
+  /// topology: any pair when fully connected, neighbours only on a ring).
+  void SetLink(size_t src, size_t dst, LinkSpec link);
+  const LinkSpec& Link(size_t src, size_t dst) const;
+
+  /// Moves `bytes` from `src` to `dst`, earliest start `ready` (seconds on
+  /// the shared simulated clock). Routes along the topology, serializes on
+  /// busy links, and returns the arrival time at `dst`. src == dst is a
+  /// no-op returning `ready`.
+  double Transfer(size_t src, size_t dst, uint64_t bytes, double ready);
+
+  /// Hop count of the route Transfer(src, dst, ...) takes (0 when
+  /// src == dst, 1 on a direct link).
+  size_t RouteHops(size_t src, size_t dst) const;
+
+  /// When the directed link src → dst finishes its last transfer.
+  double busy_until(size_t src, size_t dst) const;
+
+  /// Logical payload bytes accepted by Transfer (each transfer counted
+  /// once, regardless of hops).
+  uint64_t payload_bytes() const { return payload_bytes_; }
+  /// Bytes actually put on wires (payload × hops — store-and-forward
+  /// re-transmits on every hop).
+  uint64_t wire_bytes() const { return wire_bytes_; }
+  uint64_t transfer_count() const { return transfer_count_; }
+
+  /// Rewinds all link clocks to zero and clears the byte counters.
+  void Reset();
+
+ private:
+  size_t EdgeIndex(size_t src, size_t dst) const;
+
+  size_t num_nodes_;
+  FabricTopology topology_;
+  std::vector<LinkSpec> links_;       ///< N×N dense; only topology edges used
+  std::vector<double> busy_;          ///< per directed edge, same indexing
+  uint64_t payload_bytes_ = 0;
+  uint64_t wire_bytes_ = 0;
+  uint64_t transfer_count_ = 0;
+};
+
+}  // namespace culda::gpusim

@@ -224,8 +224,38 @@ TEST(Distributed, MoreNodesShrinkSamplingNotSync) {
 
 TEST(Distributed, ValidatesInputs) {
   DistributedLdaModel m;
+  m.model_bytes = 1 << 20;  // valid so the num_nodes check is what fires
   m.num_nodes = 0;
   EXPECT_THROW(m.IterationSeconds(100), Error);
+}
+
+TEST(Distributed, RejectsUnsetModelBytes) {
+  // The default model_bytes = 0 used to make the network term silently free,
+  // letting this baseline "win" every comparison; now it fails loudly.
+  DistributedLdaModel m;
+  try {
+    m.IterationSeconds(100);
+    FAIL() << "model_bytes = 0 must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("model_bytes"), std::string::npos);
+  }
+}
+
+TEST(Distributed, RejectsSyncVolumeOverflow) {
+  DistributedLdaModel m;
+  m.num_nodes = 4;
+  m.model_bytes = UINT64_MAX / 4;  // 2 * bytes * 4 nodes would wrap
+  try {
+    m.IterationSeconds(100);
+    FAIL() << "2 * model_bytes * num_nodes wrap must be rejected";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    // The error names both operands so the caller knows what to shrink.
+    EXPECT_NE(msg.find("model_bytes"), std::string::npos);
+    EXPECT_NE(msg.find("num_nodes"), std::string::npos);
+  }
+  m.model_bytes = UINT64_MAX / 2 / 4;  // largest legal value: no throw
+  EXPECT_GT(m.IterationSeconds(100), 0.0);
 }
 
 }  // namespace
